@@ -1,0 +1,105 @@
+// Command datagen runs the data-collection pipeline of Figure 3: it sweeps
+// kernel variants, measures them on the simulated accelerators through the
+// cluster substrate, prints the Table II statistics, and optionally writes
+// the per-platform datasets as JSON.
+//
+// Usage:
+//
+//	datagen [-scale tiny|small|full] [-platform "NVIDIA V100 (GPU)"] [-out dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"paragraph/internal/dataset"
+	"paragraph/internal/experiments"
+	"paragraph/internal/hw"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	scaleName := fs.String("scale", "small", "dataset scale: tiny, small, or full")
+	platform := fs.String("platform", "", "collect a single platform by name (default: all four)")
+	outDir := fs.String("out", "", "directory to write per-platform JSON datasets")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		return err
+	}
+	runner := experiments.NewRunner(scale)
+
+	machines := hw.All()
+	if *platform != "" {
+		m, err := hw.ByName(*platform)
+		if err != nil {
+			return err
+		}
+		machines = []hw.Machine{m}
+	}
+
+	fmt.Printf("collecting at scale %q\n", scale.Name)
+	for _, m := range machines {
+		p, err := runner.Platform(m)
+		if err != nil {
+			return err
+		}
+		s := p.Stats()
+		fmt.Printf("%-22s %8d points, runtime [%.3g - %.6g] ms, stddev %.4g ms, %d lost\n",
+			m.Name, s.NumPoints, s.MinRuntimeMS, s.MaxRuntimeMS, s.StdDevMS, p.Failed)
+		if *outDir != "" {
+			if err := writePlatform(*outDir, p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePlatform(dir string, p *dataset.Platform) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		}
+		return '_'
+	}, p.Machine.Name)
+	path := filepath.Join(dir, name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dataset.SavePoints(f, p.Points); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
+}
+
+func parseScale(s string) (experiments.Scale, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return experiments.Tiny(), nil
+	case "small":
+		return experiments.Small(), nil
+	case "full":
+		return experiments.Full(), nil
+	}
+	return experiments.Scale{}, fmt.Errorf("unknown scale %q", s)
+}

@@ -1,0 +1,85 @@
+// Command experiments regenerates the paper's tables and figures against
+// the simulated substrate. See DESIGN.md for the experiment index.
+//
+// Usage:
+//
+//	experiments -all [-scale tiny|small|full]
+//	experiments -table 3
+//	experiments -figure 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paragraph/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	scaleName := fs.String("scale", "small", "scale: tiny, small, or full")
+	table := fs.Int("table", 0, "regenerate one table (1-4)")
+	figure := fs.Int("figure", 0, "regenerate one figure (4-9)")
+	all := fs.Bool("all", false, "regenerate everything")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale experiments.Scale
+	switch strings.ToLower(*scaleName) {
+	case "tiny":
+		scale = experiments.Tiny()
+	case "small":
+		scale = experiments.Small()
+	case "full":
+		scale = experiments.Full()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	r := experiments.NewRunner(scale)
+	w := os.Stdout
+
+	if *all || (*table == 0 && *figure == 0) {
+		fmt.Fprintf(w, "== ParaGraph experiment suite (scale %s) ==\n\n", scale.Name)
+		return r.RunAll(w)
+	}
+	switch *table {
+	case 0:
+	case 1:
+		experiments.RenderTable1(w)
+		return nil
+	case 2:
+		return r.RenderTable2(w)
+	case 3:
+		return r.RenderTable3(w)
+	case 4:
+		return r.RenderTable4(w)
+	default:
+		return fmt.Errorf("no table %d in the paper", *table)
+	}
+	switch *figure {
+	case 4:
+		return r.RenderFigure4(w)
+	case 5:
+		return r.RenderFigure5(w)
+	case 6:
+		return r.RenderFigure6(w)
+	case 7:
+		return r.RenderFigure7(w)
+	case 8:
+		return r.RenderFigure8(w)
+	case 9:
+		return r.RenderFigure9(w)
+	default:
+		return fmt.Errorf("no figure %d in the paper's evaluation", *figure)
+	}
+}

@@ -1,0 +1,108 @@
+// Command train trains the ParaGraph GNN cost model (and optionally the
+// COMPOFF baseline) for one platform and reports validation metrics.
+//
+// Usage:
+//
+//	train [-scale tiny|small|full] [-platform "NVIDIA V100 (GPU)"]
+//	      [-level raw|aug|para] [-compoff]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"paragraph/internal/experiments"
+	"paragraph/internal/hw"
+	"paragraph/internal/metrics"
+	"paragraph/internal/paragraph"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	scaleName := fs.String("scale", "small", "scale: tiny, small, or full")
+	platform := fs.String("platform", "NVIDIA V100 (GPU)", "platform name")
+	levelName := fs.String("level", "para", "representation: raw, aug, or para")
+	withCompoff := fs.Bool("compoff", false, "also train the COMPOFF baseline (GPU platforms)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale experiments.Scale
+	switch strings.ToLower(*scaleName) {
+	case "tiny":
+		scale = experiments.Tiny()
+	case "small":
+		scale = experiments.Small()
+	case "full":
+		scale = experiments.Full()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	var level paragraph.Level
+	switch strings.ToLower(*levelName) {
+	case "raw":
+		level = paragraph.LevelRawAST
+	case "aug":
+		level = paragraph.LevelAugmentedAST
+	case "para":
+		level = paragraph.LevelParaGraph
+	default:
+		return fmt.Errorf("unknown level %q", *levelName)
+	}
+	m, err := hw.ByName(*platform)
+	if err != nil {
+		return err
+	}
+
+	runner := experiments.NewRunner(scale)
+	fmt.Printf("training %s model on %s at scale %q\n", level, m.Name, scale.Name)
+	tr, err := runner.Trained(m, level)
+	if err != nil {
+		return err
+	}
+	for epoch, v := range tr.Hist.ValRMSE {
+		fmt.Printf("epoch %3d: train loss %.5f, val RMSE (scaled) %.5f\n",
+			epoch+1, tr.Hist.TrainLoss[epoch], v)
+	}
+	actual, pred := tr.ValActualPredMS()
+	fmt.Printf("\nvalidation (n=%d): RMSE %.4g ms, Norm-RMSE %.3e, Pearson(log) %.4f\n",
+		len(actual), metrics.RMSE(pred, actual), metrics.NormRMSE(pred, actual),
+		logPearson(pred, actual))
+
+	if *withCompoff {
+		res, err := runner.Figure8()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("COMPOFF comparison: mean rel err ParaGraph %.4f vs COMPOFF %.4f (ParaGraph wins %.1f%%)\n",
+			res.ParaGraphMeanErr, res.CompoffMeanErr, 100*res.WinFraction)
+	}
+	return nil
+}
+
+func logPearson(pred, actual []float64) float64 {
+	lp := make([]float64, len(pred))
+	la := make([]float64, len(actual))
+	for i := range pred {
+		lp[i] = safeLog(pred[i])
+		la[i] = safeLog(actual[i])
+	}
+	return metrics.Pearson(lp, la)
+}
+
+func safeLog(v float64) float64 {
+	if v < 1e-9 {
+		v = 1e-9
+	}
+	return math.Log(v)
+}

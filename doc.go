@@ -1,0 +1,12 @@
+// Package paragraph is a from-scratch Go reproduction of "ParaGraph:
+// Weighted Graph Representation for Performance Optimization of HPC
+// Kernels" (TehraniJamsaz et al., arXiv:2304.03487): a weighted, typed
+// graph representation of OpenMP C kernels plus a relational graph
+// attention network that predicts kernel runtime across CPUs and GPUs.
+//
+// The module root holds only the benchmark harness (bench_test.go), with
+// one benchmark per table and figure of the paper's evaluation. The
+// implementation lives under internal/ — see DESIGN.md for the system
+// inventory and README.md for the tour. Entry points are under cmd/
+// (paragraph, datagen, train, experiments) and examples/.
+package paragraph

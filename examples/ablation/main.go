@@ -1,0 +1,50 @@
+// Ablation: quantify what each layer of ParaGraph adds (paper §V-C, Table
+// IV and Figure 7). Trains three models on the MI50 dataset — Raw AST,
+// Augmented AST, full ParaGraph — and prints their validation RMSE and
+// training curves.
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paragraph/internal/experiments"
+	"paragraph/internal/hw"
+	"paragraph/internal/metrics"
+	"paragraph/internal/paragraph"
+)
+
+func main() {
+	runner := experiments.NewRunner(experiments.Tiny()) // Small() for fidelity
+	machine := hw.MI50()
+
+	levels := []paragraph.Level{
+		paragraph.LevelRawAST,
+		paragraph.LevelAugmentedAST,
+		paragraph.LevelParaGraph,
+	}
+	fmt.Printf("ablation on %s\n\n", machine.Name)
+	fmt.Printf("%-14s %12s %12s\n", "Level", "RMSE (ms)", "Norm-RMSE")
+	for _, level := range levels {
+		tr, err := runner.Trained(machine, level)
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual, pred := tr.ValActualPredMS()
+		fmt.Printf("%-14s %12.4g %12.2e\n",
+			level, metrics.RMSE(pred, actual), metrics.NormRMSE(pred, actual))
+	}
+
+	fmt.Println("\nvalidation RMSE per epoch (Figure 7):")
+	for _, level := range levels {
+		tr, _ := runner.Trained(machine, level)
+		fmt.Printf("%-14s:", level)
+		for _, v := range tr.Hist.ValRMSE {
+			fmt.Printf(" %.4f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nExpected shape: ParaGraph converges below Augmented AST below Raw AST.")
+}

@@ -1,0 +1,34 @@
+// Cross-platform prediction: the paper's headline advantage over COMPOFF is
+// that ParaGraph models CPUs as well as GPUs (§V-D). This example trains
+// one cost model per accelerator — IBM POWER9, NVIDIA V100, AMD EPYC 7401,
+// AMD MI50 — and reports Table III's metrics side by side.
+//
+//	go run ./examples/crossplatform
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paragraph/internal/experiments"
+	"paragraph/internal/hw"
+	"paragraph/internal/metrics"
+	"paragraph/internal/paragraph"
+)
+
+func main() {
+	runner := experiments.NewRunner(experiments.Tiny()) // Small() for fidelity
+
+	fmt.Printf("%-22s %8s %12s %12s %10s\n", "Platform", "#val", "RMSE (ms)", "Norm-RMSE", "rel.err")
+	for _, m := range hw.All() {
+		tr, err := runner.Trained(m, paragraph.LevelParaGraph)
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual, pred := tr.ValActualPredMS()
+		rel := metrics.Mean(metrics.RelErrors(pred, actual))
+		fmt.Printf("%-22s %8d %12.4g %12.2e %10.4f\n",
+			m.Name, len(actual), metrics.RMSE(pred, actual), metrics.NormRMSE(pred, actual), rel)
+	}
+	fmt.Println("\nOne representation, four accelerators — no per-architecture features needed.")
+}

@@ -1,0 +1,69 @@
+// Variant selection: the paper's motivating use case (§I). Train the
+// ParaGraph cost model on simulated V100 measurements, then — statically,
+// without running anything — rank all matmul variants through the advisor
+// (the OpenMP Advisor role of §II-D) and compare the model's pick against
+// the simulator's ground-truth oracle.
+//
+//	go run ./examples/variantselect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paragraph/internal/advisor"
+	"paragraph/internal/apps"
+	"paragraph/internal/experiments"
+	"paragraph/internal/hw"
+	"paragraph/internal/paragraph"
+	"paragraph/internal/sim"
+	"paragraph/internal/variants"
+)
+
+func main() {
+	machine := hw.V100()
+	scale := experiments.Tiny() // keep the example snappy; use Small() for fidelity
+	runner := experiments.NewRunner(scale)
+
+	fmt.Printf("training cost model on %s (scale %s)...\n", machine.Name, scale.Name)
+	tr, err := runner.Trained(machine, paragraph.LevelParaGraph)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	adv := advisor.New(tr.Model, tr.Prep, machine)
+	k, _ := apps.ByName("matmul")
+	bindings := map[string]float64{"n": 512}
+	space := advisor.SearchSpace{GPUTeams: []int{64, 256}, GPUThreads: []int{128}}
+
+	recs, err := adv.Advise(k, bindings, space)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth from the simulator (what the paper measured on the real
+	// cluster) for each recommendation.
+	fmt.Printf("\n%-22s %8s %14s %14s\n", "variant", "teams", "predicted(ms)", "actual(ms)")
+	bestActual := -1
+	var bestActualMS float64
+	for i, r := range recs {
+		in := variants.Instance{
+			Kernel: k, Kind: r.Kind, Teams: r.Teams, Threads: r.Threads,
+			Bindings: bindings, Source: r.Source,
+		}
+		res, err := sim.Simulate(in, machine, sim.Config{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		actualMS := res.Milliseconds()
+		if bestActual < 0 || actualMS < bestActualMS {
+			bestActual, bestActualMS = i, actualMS
+		}
+		fmt.Printf("%-22s %8d %14.4g %14.4g\n", r.Kind, r.Teams, r.PredictedUS/1000, actualMS)
+	}
+
+	model := recs[0]
+	oracle := recs[bestActual]
+	fmt.Printf("\nmodel selects:  %s teams=%d\n", model.Kind, model.Teams)
+	fmt.Printf("oracle selects: %s teams=%d\n", oracle.Kind, oracle.Teams)
+}

@@ -1,0 +1,173 @@
+// Package advisor reassembles the paper's end-to-end use case: the role
+// OpenMP Advisor (§II-D) plays with ParaGraph as its cost model. Given a
+// serial benchmark kernel, it generates candidate OpenMP variants (code
+// transformation), predicts each one's runtime statically with a trained
+// cost model (kernel analysis + cost model), and returns them ranked — no
+// execution required at inference time, the paper's key advantage over
+// online autotuners (§II-E).
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"paragraph/internal/analysis"
+	"paragraph/internal/apps"
+	"paragraph/internal/dataset"
+	"paragraph/internal/gnn"
+	"paragraph/internal/hw"
+	"paragraph/internal/paragraph"
+	"paragraph/internal/variants"
+)
+
+// Predictor is the cost-model interface: a scaled-runtime regressor over
+// encoded samples. *gnn.Model satisfies it.
+type Predictor interface {
+	Predict(*gnn.Sample) float64
+}
+
+// Advisor ranks kernel variants by predicted runtime on one machine.
+type Advisor struct {
+	model   Predictor
+	prep    *dataset.Prepared // training-time scalers
+	machine hw.Machine
+	level   paragraph.Level
+}
+
+// New builds an advisor from a trained predictor and the Prepared dataset
+// it was trained on (whose scalers must be reused at inference).
+func New(model Predictor, prep *dataset.Prepared, machine hw.Machine) *Advisor {
+	return &Advisor{model: model, prep: prep, machine: machine, level: paragraph.LevelParaGraph}
+}
+
+// SearchSpace is the variant/parallelism grid to rank.
+type SearchSpace struct {
+	CPUThreads []int // used on CPU machines
+	GPUTeams   []int // used on GPU machines
+	GPUThreads []int
+}
+
+// DefaultSearchSpace mirrors the dataset sweep.
+func DefaultSearchSpace() SearchSpace {
+	return SearchSpace{
+		CPUThreads: []int{1, 2, 4, 8, 16, 22, 24},
+		GPUTeams:   []int{16, 64, 128, 256},
+		GPUThreads: []int{64, 128, 256},
+	}
+}
+
+// Recommendation is one ranked candidate.
+type Recommendation struct {
+	Kind        variants.Kind
+	Teams       int
+	Threads     int
+	PredictedUS float64
+	Source      string // the transformed kernel, ready to drop in
+}
+
+// Advise enumerates the machine-compatible variants of kernel k under
+// bindings, predicts each statically, and returns them sorted by predicted
+// runtime (fastest first).
+func (a *Advisor) Advise(k apps.Kernel, bindings analysis.Env, space SearchSpace) ([]Recommendation, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	var recs []Recommendation
+	for _, kind := range variants.Kinds() {
+		if kind.IsGPU() != a.machine.IsGPU {
+			continue
+		}
+		if kind.IsCollapse() && !k.Collapsible {
+			continue
+		}
+		type pt struct{ teams, threads int }
+		var grid []pt
+		if kind.IsGPU() {
+			for _, g := range space.GPUTeams {
+				for _, t := range space.GPUThreads {
+					grid = append(grid, pt{g, t})
+				}
+			}
+		} else {
+			for _, t := range space.CPUThreads {
+				grid = append(grid, pt{0, t})
+			}
+		}
+		for _, g := range grid {
+			src, err := variants.Generate(k, kind, g.teams, g.threads)
+			if err != nil {
+				return nil, err
+			}
+			in := variants.Instance{
+				Kernel: k, Kind: kind, Teams: g.teams, Threads: g.threads,
+				Bindings: bindings, Source: src,
+			}
+			us, err := a.PredictInstanceUS(in)
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, Recommendation{
+				Kind: kind, Teams: g.teams, Threads: g.threads,
+				PredictedUS: us, Source: src,
+			})
+		}
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("advisor: no %s-compatible variants for kernel %q",
+			machineClass(a.machine), k.Name)
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].PredictedUS < recs[j].PredictedUS })
+	return recs, nil
+}
+
+// Best returns the top recommendation.
+func (a *Advisor) Best(k apps.Kernel, bindings analysis.Env, space SearchSpace) (Recommendation, error) {
+	recs, err := a.Advise(k, bindings, space)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	return recs[0], nil
+}
+
+// PredictInstanceUS statically predicts one instance's runtime in
+// microseconds, applying the training-time feature and target scalers.
+func (a *Advisor) PredictInstanceUS(in variants.Instance) (float64, error) {
+	s, err := a.EncodeInstance(in)
+	if err != nil {
+		return 0, err
+	}
+	return a.prep.DescaleUS(a.model.Predict(s)), nil
+}
+
+// EncodeInstance builds the model-ready sample for an unseen instance.
+func (a *Advisor) EncodeInstance(in variants.Instance) (*gnn.Sample, error) {
+	// Thread-count division matches dataset.Prepare (see the note there).
+	g, err := paragraph.BuildKernel(in.Source, paragraph.Options{
+		Level:    a.level,
+		Threads:  in.Threads,
+		Bindings: in.Bindings,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eg, err := gnn.Encode(g, int(paragraph.NumEdgeTypes))
+	if err != nil {
+		return nil, err
+	}
+	eg.WScale = a.prep.WScale
+	return &gnn.Sample{
+		G: eg,
+		Feats: [2]float64{
+			a.prep.TeamScaler.Scale(float64(in.Teams)),
+			a.prep.ThreadScaler.Scale(float64(in.Threads)),
+		},
+		Name: in.Name(),
+	}, nil
+}
+
+func machineClass(m hw.Machine) string {
+	if m.IsGPU {
+		return "GPU"
+	}
+	return "CPU"
+}

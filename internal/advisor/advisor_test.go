@@ -1,0 +1,201 @@
+package advisor
+
+import (
+	"math"
+	"testing"
+
+	"paragraph/internal/apps"
+	"paragraph/internal/dataset"
+	"paragraph/internal/gnn"
+	"paragraph/internal/hw"
+	"paragraph/internal/variants"
+)
+
+// weightOracle is a stub cost model: it "predicts" from the graph's total
+// log-weight and the scaled thread feature, so rankings are deterministic
+// and interpretable without training a network.
+type weightOracle struct{}
+
+func (weightOracle) Predict(s *gnn.Sample) float64 {
+	var total float64
+	for _, rel := range s.G.Rels {
+		for _, w := range rel.LogW {
+			total += w
+		}
+	}
+	// More per-worker weight → slower; more threads → faster.
+	return total/1e4 - 0.1*s.Feats[1]
+}
+
+// testPrep builds a Prepared carrying plausible scalers without running the
+// full pipeline.
+func testPrep() *dataset.Prepared {
+	return &dataset.Prepared{
+		TargetScaler: dataset.Scaler{Min: math.Log(10), Max: math.Log(1e6)},
+		TeamScaler:   dataset.Scaler{Min: 0, Max: 256},
+		ThreadScaler: dataset.Scaler{Min: 1, Max: 256},
+		WScale:       10,
+	}
+}
+
+func TestAdviseRanksAndFilters(t *testing.T) {
+	k, _ := apps.ByName("matmul")
+	a := New(weightOracle{}, testPrep(), hw.V100())
+	recs, err := a.Advise(k, map[string]float64{"n": 256}, SearchSpace{
+		GPUTeams:   []int{64, 256},
+		GPUThreads: []int{64, 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 GPU kinds × 4 grid points.
+	if len(recs) != 16 {
+		t.Fatalf("recommendations = %d, want 16", len(recs))
+	}
+	for i, r := range recs {
+		if r.Kind.IsGPU() != true {
+			t.Errorf("rec %d: CPU variant on GPU advisor", i)
+		}
+		if i > 0 && recs[i-1].PredictedUS > r.PredictedUS {
+			t.Errorf("recs not sorted at %d: %v > %v", i, recs[i-1].PredictedUS, r.PredictedUS)
+		}
+		if r.Source == "" {
+			t.Errorf("rec %d: missing source", i)
+		}
+	}
+}
+
+func TestAdviseCPUMachineUsesCPUVariants(t *testing.T) {
+	k, _ := apps.ByName("transpose")
+	a := New(weightOracle{}, testPrep(), hw.Power9())
+	recs, err := a.Advise(k, map[string]float64{"n": 512, "m": 512}, SearchSpace{
+		CPUThreads: []int{1, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// transpose is collapsible: cpu + cpu_collapse × 2 thread counts.
+	if len(recs) != 4 {
+		t.Fatalf("recommendations = %d, want 4", len(recs))
+	}
+	for _, r := range recs {
+		if r.Kind.IsGPU() {
+			t.Errorf("GPU variant recommended for CPU machine")
+		}
+	}
+}
+
+func TestAdviseSkipsCollapseForNonCollapsible(t *testing.T) {
+	k, _ := apps.ByName("correlation_pearson")
+	a := New(weightOracle{}, testPrep(), hw.MI50())
+	recs, err := a.Advise(k, map[string]float64{"n": 4096}, SearchSpace{
+		GPUTeams: []int{64}, GPUThreads: []int{128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Kind.IsCollapse() {
+			t.Errorf("collapse variant for non-collapsible kernel")
+		}
+	}
+	if len(recs) != 2 { // gpu, gpu_mem
+		t.Errorf("recommendations = %d, want 2", len(recs))
+	}
+}
+
+func TestBestMatchesFirstRecommendation(t *testing.T) {
+	k, _ := apps.ByName("matvec")
+	a := New(weightOracle{}, testPrep(), hw.V100())
+	space := SearchSpace{GPUTeams: []int{64, 128}, GPUThreads: []int{64}}
+	bindings := map[string]float64{"n": 1024, "m": 512}
+	recs, err := a.Advise(k, bindings, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := a.Best(k, bindings, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != recs[0] {
+		t.Error("Best != first recommendation")
+	}
+}
+
+func TestAdviseErrors(t *testing.T) {
+	a := New(weightOracle{}, testPrep(), hw.V100())
+	if _, err := a.Advise(apps.Kernel{}, nil, DefaultSearchSpace()); err == nil {
+		t.Error("invalid kernel accepted")
+	}
+	k, _ := apps.ByName("matmul")
+	// Empty search space for this machine class.
+	if _, err := a.Advise(k, nil, SearchSpace{CPUThreads: []int{4}}); err == nil {
+		t.Error("empty GPU grid accepted")
+	}
+}
+
+func TestPredictInstanceUSAppliesScalers(t *testing.T) {
+	k, _ := apps.ByName("pf_motion")
+	src, err := variants.Generate(k, variants.GPU, 64, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := variants.Instance{
+		Kernel: k, Kind: variants.GPU, Teams: 64, Threads: 128,
+		Bindings: map[string]float64{"n": 4096}, Source: src,
+	}
+	prep := testPrep()
+	a := New(weightOracle{}, prep, hw.V100())
+	us, err := a.PredictInstanceUS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us <= 0 || math.IsNaN(us) {
+		t.Errorf("predicted us = %v", us)
+	}
+	// The sample must carry the training scalers.
+	s, err := a.EncodeInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.G.WScale != prep.WScale {
+		t.Error("WScale not applied")
+	}
+	if s.Feats[0] != prep.TeamScaler.Scale(64) || s.Feats[1] != prep.ThreadScaler.Scale(128) {
+		t.Error("feature scalers not applied")
+	}
+}
+
+func TestDefaultSearchSpaceNonEmpty(t *testing.T) {
+	sp := DefaultSearchSpace()
+	if len(sp.CPUThreads) == 0 || len(sp.GPUTeams) == 0 || len(sp.GPUThreads) == 0 {
+		t.Error("default search space incomplete")
+	}
+}
+
+// TestEndToEndWithTrainedModel wires a real (tiny) trained GNN through the
+// advisor, checking the integration seam the examples rely on.
+func TestEndToEndWithTrainedModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	k, _ := apps.ByName("matmul")
+	// Build a micro-dataset directly from instances on V100.
+	m := gnn.NewModel(gnn.Config{Seed: 1, Hidden: 8, Layers: 1, Relations: 8})
+	prep := testPrep()
+	a := New(m, prep, hw.V100())
+	recs, err := a.Advise(k, map[string]float64{"n": 128}, SearchSpace{
+		GPUTeams: []int{64}, GPUThreads: []int{64, 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 8 {
+		t.Fatalf("recs = %d, want 8", len(recs))
+	}
+	for _, r := range recs {
+		if r.PredictedUS <= 0 {
+			t.Errorf("non-positive prediction %v", r.PredictedUS)
+		}
+	}
+}

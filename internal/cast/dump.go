@@ -1,0 +1,36 @@
+package cast
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Dump writes a clang -ast-dump style rendering of the tree to w.
+func Dump(w io.Writer, root *Node) {
+	var rec func(n *Node, prefix string, last bool)
+	rec = func(n *Node, prefix string, last bool) {
+		connector := "|-"
+		childPrefix := prefix + "| "
+		if last {
+			connector = "`-"
+			childPrefix = prefix + "  "
+		}
+		if prefix == "" && !last {
+			connector = ""
+			childPrefix = ""
+		}
+		fmt.Fprintf(w, "%s%s%s\n", prefix, connector, n.String())
+		for i, c := range n.Children {
+			rec(c, childPrefix, i == len(n.Children)-1)
+		}
+	}
+	rec(root, "", false)
+}
+
+// DumpString returns the Dump rendering as a string.
+func DumpString(root *Node) string {
+	var sb strings.Builder
+	Dump(&sb, root)
+	return sb.String()
+}

@@ -1,0 +1,323 @@
+package cast
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PrintC renders the AST back to compilable C source. The output is
+// normalized (canonical whitespace, conservative parenthesization) rather
+// than byte-identical to the original input; re-parsing it yields a tree
+// with the same normalized shape, which the frontend's round-trip tests
+// rely on.
+func PrintC(w io.Writer, root *Node) error {
+	p := &printer{w: w}
+	p.node(root, 0)
+	return p.err
+}
+
+// PrintCString renders the AST to a string.
+func PrintCString(root *Node) string {
+	var sb strings.Builder
+	// strings.Builder never errors.
+	_ = PrintC(&sb, root)
+	return sb.String()
+}
+
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *printer) indent(depth int) {
+	p.printf("%s", strings.Repeat("    ", depth))
+}
+
+// node prints a declaration or statement at the given indentation.
+func (p *printer) node(n *Node, depth int) {
+	switch n.Kind {
+	case KindTranslationUnitDecl:
+		for _, c := range n.Children {
+			p.node(c, depth)
+			p.printf("\n")
+		}
+	case KindFunctionDecl:
+		p.printf("%s %s(", typeOrInt(n.TypeName), n.Name)
+		params := n.Params()
+		if len(params) == 0 {
+			p.printf("void")
+		}
+		for i, parm := range params {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.printf("%s %s", typeOrInt(parm.TypeName), parm.Name)
+		}
+		p.printf(")")
+		if body := n.Body(); body != nil {
+			p.printf(" ")
+			p.node(body, depth)
+		} else {
+			p.printf(";")
+		}
+	case KindCompoundStmt:
+		p.printf("{\n")
+		for _, c := range n.Children {
+			p.indent(depth + 1)
+			p.stmt(c, depth+1)
+			p.printf("\n")
+		}
+		p.indent(depth)
+		p.printf("}")
+	case KindDeclStmt:
+		p.declStmt(n)
+	default:
+		p.stmt(n, depth)
+	}
+}
+
+// stmt prints a statement without leading indentation (the caller indents)
+// but with its trailing terminator.
+func (p *printer) stmt(n *Node, depth int) {
+	switch n.Kind {
+	case KindCompoundStmt:
+		p.node(n, depth)
+	case KindDeclStmt:
+		p.declStmt(n)
+	case KindNullStmt:
+		p.printf(";")
+	case KindBreakStmt:
+		p.printf("break;")
+	case KindContinueStmt:
+		p.printf("continue;")
+	case KindReturnStmt:
+		if len(n.Children) == 0 {
+			p.printf("return;")
+			return
+		}
+		p.printf("return ")
+		p.expr(n.Children[0])
+		p.printf(";")
+	case KindForStmt:
+		init, cond, body, inc := n.ForParts()
+		if init == nil {
+			p.printf("/* malformed for */;")
+			return
+		}
+		p.printf("for (")
+		p.forClause(init)
+		p.printf("; ")
+		if cond.Kind != KindNullStmt {
+			p.expr(cond)
+		}
+		p.printf("; ")
+		if inc.Kind != KindNullStmt {
+			p.expr(inc)
+		}
+		p.printf(") ")
+		p.stmt(body, depth)
+	case KindWhileStmt:
+		p.printf("while (")
+		p.expr(n.Children[0])
+		p.printf(") ")
+		p.stmt(n.Children[1], depth)
+	case KindDoStmt:
+		p.printf("do ")
+		p.stmt(n.Children[0], depth)
+		p.printf(" while (")
+		p.expr(n.Children[1])
+		p.printf(");")
+	case KindIfStmt:
+		cond, then, els := n.IfParts()
+		p.printf("if (")
+		p.expr(cond)
+		p.printf(") ")
+		p.stmt(then, depth)
+		if els != nil {
+			p.printf(" else ")
+			p.stmt(els, depth)
+		}
+	case KindOMPExecutableDirective:
+		if n.Dir != nil {
+			p.printf("%s\n", n.Dir.String())
+		}
+		// Clause payload nodes regenerate from Dir.String(); print only the
+		// associated statement (the last non-clause child).
+		var assoc *Node
+		for i := len(n.Children) - 1; i >= 0; i-- {
+			if n.Children[i].Kind != KindOMPClause {
+				assoc = n.Children[i]
+				break
+			}
+		}
+		if assoc != nil {
+			p.indent(depth)
+			p.stmt(assoc, depth)
+		}
+	default:
+		// Expression statement.
+		p.expr(n)
+		p.printf(";")
+	}
+}
+
+// forClause prints a for-init without its terminating semicolon.
+func (p *printer) forClause(n *Node) {
+	switch n.Kind {
+	case KindNullStmt:
+	case KindDeclStmt:
+		p.varDecls(n)
+	default:
+		p.expr(n)
+	}
+}
+
+func (p *printer) declStmt(n *Node) {
+	p.varDecls(n)
+	p.printf(";")
+}
+
+// varDecls prints the declarator list of a DeclStmt without the semicolon.
+func (p *printer) varDecls(n *Node) {
+	for i, vd := range n.Children {
+		if i > 0 {
+			p.printf(", ")
+		}
+		if i == 0 {
+			p.printf("%s ", strings.TrimSuffix(typeOrInt(vd.TypeName), " []"))
+		}
+		p.printf("%s", vd.Name)
+		// Array declarator sizes come before any initializer child; the
+		// initializer, if present, is the last child of a non-array decl.
+		if strings.HasSuffix(vd.TypeName, "[]") {
+			for _, c := range vd.Children {
+				p.printf("[")
+				p.expr(c)
+				p.printf("]")
+			}
+			continue
+		}
+		if len(vd.Children) == 1 {
+			p.printf(" = ")
+			p.expr(vd.Children[0])
+		}
+	}
+}
+
+// expr prints an expression with conservative parenthesization.
+func (p *printer) expr(n *Node) {
+	switch n.Kind {
+	case KindIntegerLiteral, KindFloatingLiteral, KindStringLiteral, KindCharacterLiteral:
+		p.printf("%s", n.Value)
+	case KindDeclRefExpr:
+		p.printf("%s", n.Name)
+	case KindImplicitCastExpr:
+		if n.TypeName != "" && n.TypeName != "LValueToRValue" {
+			p.printf("(%s)", n.TypeName)
+		}
+		if len(n.Children) == 1 {
+			p.expr(n.Children[0])
+		}
+	case KindParenExpr:
+		p.printf("(")
+		if len(n.Children) == 1 {
+			p.expr(n.Children[0])
+		}
+		p.printf(")")
+	case KindBinaryOperator, KindCompoundAssignOperator:
+		p.exprParen(n.Children[0])
+		p.printf(" %s ", n.Op)
+		p.exprParen(n.Children[1])
+	case KindUnaryOperator:
+		switch n.Op {
+		case "post++":
+			p.exprParen(n.Children[0])
+			p.printf("++")
+		case "post--":
+			p.exprParen(n.Children[0])
+			p.printf("--")
+		case "pre++":
+			p.printf("++")
+			p.exprParen(n.Children[0])
+		case "pre--":
+			p.printf("--")
+			p.exprParen(n.Children[0])
+		case "sizeof":
+			p.printf("sizeof(")
+			inner := n.Children[0]
+			if inner.Kind == KindDeclRefExpr && inner.TypeName != "" {
+				p.printf("%s", inner.TypeName)
+			} else {
+				p.expr(inner)
+			}
+			p.printf(")")
+		default:
+			p.printf("%s", n.Op)
+			p.exprParen(n.Children[0])
+		}
+	case KindConditionalOperator:
+		p.exprParen(n.Children[0])
+		p.printf(" ? ")
+		p.exprParen(n.Children[1])
+		p.printf(" : ")
+		p.exprParen(n.Children[2])
+	case KindArraySubscriptExpr:
+		p.exprParen(n.Children[0])
+		p.printf("[")
+		p.expr(n.Children[1])
+		p.printf("]")
+	case KindCallExpr:
+		p.expr(n.Children[0])
+		p.printf("(")
+		for i, arg := range n.Children[1:] {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.expr(arg)
+		}
+		p.printf(")")
+	default:
+		p.printf("/* %s */", n.Kind)
+	}
+}
+
+// exprParen prints a subexpression, wrapping composite expressions in
+// parentheses so operator precedence survives the round trip without a
+// precedence table.
+func (p *printer) exprParen(n *Node) {
+	switch n.Kind {
+	case KindBinaryOperator, KindCompoundAssignOperator, KindConditionalOperator:
+		p.printf("(")
+		p.expr(n)
+		p.printf(")")
+	case KindImplicitCastExpr:
+		if n.TypeName != "" && n.TypeName != "LValueToRValue" {
+			p.printf("(")
+			p.expr(n)
+			p.printf(")")
+			return
+		}
+		if len(n.Children) == 1 {
+			p.exprParen(n.Children[0])
+			return
+		}
+		p.expr(n)
+	default:
+		p.expr(n)
+	}
+}
+
+func typeOrInt(ty string) string {
+	if ty == "" {
+		return "int"
+	}
+	return ty
+}

@@ -1,0 +1,163 @@
+package cast_test
+
+// Round-trip tests live in an external test package so they can use the
+// parser (cparse imports cast; importing cparse from cast's internal tests
+// would cycle).
+
+import (
+	"strings"
+	"testing"
+
+	"paragraph/internal/apps"
+	"paragraph/internal/cast"
+	"paragraph/internal/cparse"
+	"paragraph/internal/variants"
+)
+
+// normalize flattens a tree to a comparable signature, skipping the
+// wrapper nodes (ParenExpr, LValueToRValue casts) that printing and
+// re-parsing legitimately shuffle.
+func normalize(root *cast.Node) []string {
+	var sig []string
+	var rec func(n *cast.Node)
+	rec = func(n *cast.Node) {
+		skip := n.Kind == cast.KindParenExpr ||
+			(n.Kind == cast.KindImplicitCastExpr && (n.TypeName == "LValueToRValue" || n.TypeName == ""))
+		if !skip {
+			entry := n.Kind.String()
+			if n.Name != "" {
+				entry += ":" + n.Name
+			}
+			if n.Op != "" {
+				entry += ":" + n.Op
+			}
+			if n.Value != "" {
+				entry += ":" + n.Value
+			}
+			sig = append(sig, entry)
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(root)
+	return sig
+}
+
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	orig, err := cparse.Parse(src)
+	if err != nil {
+		t.Fatalf("parse original: %v\n%s", err, src)
+	}
+	printed := cast.PrintCString(orig)
+	back, err := cparse.Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse printed source: %v\n--- printed ---\n%s", err, printed)
+	}
+	a, b := normalize(orig), normalize(back)
+	if len(a) != len(b) {
+		t.Fatalf("signature lengths differ: %d vs %d\n--- printed ---\n%s", len(a), len(b), printed)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("signature differs at %d: %q vs %q\n--- printed ---\n%s", i, a[i], b[i], printed)
+		}
+	}
+}
+
+func TestRoundTripBasicConstructs(t *testing.T) {
+	cases := []string{
+		`void f(void) { int x; x = 50; }`,
+		`int add(int a, int b) { return a + b; }`,
+		`void f(int n) { for (int i = 0; i < n; i++) { n += i; } }`,
+		`void f(int n) { for (;;) { break; } }`,
+		`void f(int n) { while (n > 0) { n--; } }`,
+		`void f(int n) { do { n++; } while (n < 10); }`,
+		`void f(int x) { if (x > 0) { x = 1; } else { x = 2; } }`,
+		`void f(int x) { if (x) x++; }`,
+		`void f(double *a, int i) { a[i] = a[i + 1] * 2.5; }`,
+		`double g(double x); void f(double *a) { a[0] = g(a[1]); }`,
+		`void f(int a, int b, int c) { a = b = c; }`,
+		`void f(int a) { a = a > 0 ? a : -a; }`,
+		`void f(int a) { a <<= 2; a >>= 1; a &= 3; a |= 4; a ^= 5; a %= 6; }`,
+		`void f(int *p, int a) { p = &a; a = *p; }`,
+		`void f(int a) { a = sizeof(double) + sizeof(int); }`,
+		`void f(void) { int x = 1, y = 2, z; z = x + y; }`,
+		`int g = 10; void f(void) { g++; }`,
+		`void f(void) { double t[100]; t[0] = 1.0; }`,
+		`void f(int n) { int i; for (i = 0, n = 0; i < 10; i++, n--) {} }`,
+		`void f(double d, int n) { d = (double) n / 2; }`,
+		`void f(int a) { ; }`,
+		`void f(int a) { { int b; b = a; } }`,
+		`void f(int a) { return; }`,
+	}
+	for _, src := range cases {
+		roundTrip(t, src)
+	}
+}
+
+func TestRoundTripOpenMP(t *testing.T) {
+	cases := []string{
+		`void f(double *a, int n) {
+			#pragma omp parallel for num_threads(8)
+			for (int i = 0; i < n; i++) a[i] = 0.0;
+		}`,
+		`void f(double *a, int n, int m) {
+			#pragma omp target teams distribute parallel for collapse(2) num_teams(16) map(tofrom: a[0:n*m])
+			for (int i = 0; i < n; i++)
+				for (int j = 0; j < m; j++)
+					a[i * m + j] = 1.0;
+		}`,
+		`void f(double *a, double s, int n) {
+			#pragma omp parallel for reduction(+: s)
+			for (int i = 0; i < n; i++) s += a[i];
+		}`,
+	}
+	for _, src := range cases {
+		roundTrip(t, src)
+	}
+}
+
+// TestRoundTripWholeSuite is the strongest frontend property: every
+// generated benchmark variant survives parse → print → parse with an
+// identical normalized tree.
+func TestRoundTripWholeSuite(t *testing.T) {
+	for _, k := range apps.Kernels() {
+		for _, kind := range variants.Kinds() {
+			if kind.IsCollapse() && !k.Collapsible {
+				continue
+			}
+			src, err := variants.Generate(k, kind, 32, 64)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", k.Name, kind, err)
+			}
+			roundTrip(t, src)
+		}
+	}
+}
+
+func TestPrintedSourceIsPlausibleC(t *testing.T) {
+	src := `
+void k(double *a, int n) {
+    #pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        if (a[i] > 0.0) a[i] = a[i] * 2.0;
+    }
+}`
+	root, err := cparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cast.PrintCString(root)
+	for _, want := range []string{
+		"void k(double * a, int n)",
+		"#pragma omp parallel for",
+		"for (int i = 0; i < n; i++)",
+		"if (",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed source missing %q:\n%s", want, out)
+		}
+	}
+}

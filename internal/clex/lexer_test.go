@@ -1,0 +1,298 @@
+package clex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func texts(toks []Token) []string {
+	ts := make([]string, len(toks))
+	for i, t := range toks {
+		ts[i] = t.Text
+	}
+	return ts
+}
+
+func mustTokenize(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestTokenizeSimpleDeclaration(t *testing.T) {
+	toks := mustTokenize(t, "int x = 50;")
+	want := []string{"int", "x", "=", "50", ";"}
+	got := texts(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if toks[0].Kind != Keyword {
+		t.Errorf("token 0 kind = %v, want Keyword", toks[0].Kind)
+	}
+	if toks[1].Kind != Ident {
+		t.Errorf("token 1 kind = %v, want Ident", toks[1].Kind)
+	}
+	if toks[3].Kind != IntLit {
+		t.Errorf("token 3 kind = %v, want IntLit", toks[3].Kind)
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks := mustTokenize(t, "int a;\nfloat b;")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("first token at %v, want 1:1", toks[0].Pos)
+	}
+	// "float" begins line 2, col 1.
+	var f Token
+	for _, tk := range toks {
+		if tk.Text == "float" {
+			f = tk
+		}
+	}
+	if f.Pos.Line != 2 || f.Pos.Col != 1 {
+		t.Errorf("float at %v, want 2:1", f.Pos)
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	src := `
+// line comment
+int /* block */ x; /* multi
+line */ float y;`
+	toks := mustTokenize(t, src)
+	got := texts(toks)
+	want := []string{"int", "x", ";", "float", "y", ";"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizePragmaCaptured(t *testing.T) {
+	src := "#pragma omp parallel for collapse(2)\nfor(;;){}"
+	toks := mustTokenize(t, src)
+	if toks[0].Kind != Pragma {
+		t.Fatalf("first token kind = %v, want Pragma", toks[0].Kind)
+	}
+	if !strings.Contains(toks[0].Text, "omp parallel for collapse(2)") {
+		t.Errorf("pragma text = %q", toks[0].Text)
+	}
+	if toks[1].Text != "for" {
+		t.Errorf("token after pragma = %q, want for", toks[1].Text)
+	}
+}
+
+func TestTokenizePragmaContinuation(t *testing.T) {
+	src := "#pragma omp target teams \\\n    distribute parallel for\nint x;"
+	toks := mustTokenize(t, src)
+	if toks[0].Kind != Pragma {
+		t.Fatalf("first token kind = %v, want Pragma", toks[0].Kind)
+	}
+	if !strings.Contains(toks[0].Text, "distribute parallel for") {
+		t.Errorf("continuation not folded: %q", toks[0].Text)
+	}
+	if toks[1].Text != "int" {
+		t.Errorf("token after pragma = %q, want int", toks[1].Text)
+	}
+}
+
+func TestTokenizeIncludeSkipped(t *testing.T) {
+	src := "#include <stdio.h>\n#define N 100\nint x;"
+	toks := mustTokenize(t, src)
+	got := texts(toks)
+	want := []string{"int", "x", ";"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+	}{
+		{"0", IntLit},
+		{"42", IntLit},
+		{"0x1F", IntLit},
+		{"100UL", IntLit},
+		{"3.14", FloatLit},
+		{"1e10", FloatLit},
+		{"2.5e-3", FloatLit},
+		{".5", FloatLit},
+		{"1.0f", FloatLit},
+	}
+	for _, c := range cases {
+		toks := mustTokenize(t, c.src)
+		if len(toks) != 1 {
+			t.Errorf("Tokenize(%q) = %v, want 1 token", c.src, toks)
+			continue
+		}
+		if toks[0].Kind != c.kind {
+			t.Errorf("Tokenize(%q) kind = %v, want %v", c.src, toks[0].Kind, c.kind)
+		}
+		if toks[0].Text != c.src {
+			t.Errorf("Tokenize(%q) text = %q", c.src, toks[0].Text)
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	src := "a <<= b >>= c << d >> e <= f >= g == h != i && j || k += l ++ m -- n -> o"
+	toks := mustTokenize(t, src)
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == Punct {
+			ops = append(ops, tk.Text)
+		}
+	}
+	want := []string{"<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "++", "--", "->"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeStringAndChar(t *testing.T) {
+	toks := mustTokenize(t, `printf("hello \"world\"\n", 'a', '\n');`)
+	var haveStr, haveChar int
+	for _, tk := range toks {
+		switch tk.Kind {
+		case StringLit:
+			haveStr++
+		case CharLit:
+			haveChar++
+		}
+	}
+	if haveStr != 1 {
+		t.Errorf("string literals = %d, want 1", haveStr)
+	}
+	if haveChar != 2 {
+		t.Errorf("char literals = %d, want 2", haveChar)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		"'x",
+		"`",
+		"\"newline\nin string\"",
+	}
+	for _, src := range cases {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexerErrorSticky(t *testing.T) {
+	lx := New("`")
+	if _, err := lx.Next(); err == nil {
+		t.Fatal("want error on first Next")
+	}
+	if _, err := lx.Next(); err == nil {
+		t.Fatal("error should be sticky")
+	}
+}
+
+func TestTokenPredicates(t *testing.T) {
+	tk := Token{Kind: Punct, Text: "("}
+	if !tk.Is("(") || tk.Is(")") {
+		t.Error("Is misbehaves")
+	}
+	kw := Token{Kind: Keyword, Text: "for"}
+	if !kw.IsKeyword("for") || kw.IsKeyword("if") {
+		t.Error("IsKeyword misbehaves")
+	}
+	if kw.Is("for") {
+		t.Error("keyword should not satisfy Is (punct)")
+	}
+}
+
+func TestIsTypeKeyword(t *testing.T) {
+	for _, s := range []string{"int", "float", "double", "unsigned", "const", "void", "size_t"} {
+		if !IsTypeKeyword(s) {
+			t.Errorf("IsTypeKeyword(%q) = false", s)
+		}
+	}
+	for _, s := range []string{"for", "if", "return", "x", ""} {
+		if IsTypeKeyword(s) {
+			t.Errorf("IsTypeKeyword(%q) = true", s)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if EOF.String() != "EOF" || Pragma.String() != "Pragma" {
+		t.Error("Kind.String basic names wrong")
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("out-of-range kind = %q", Kind(99).String())
+	}
+}
+
+// TestTokenizeIdempotentOnIdents is a property test: any identifier-shaped
+// string must round-trip as exactly one Ident or Keyword token.
+func TestTokenizeIdempotentOnIdents(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Build an identifier from raw bytes.
+		var sb strings.Builder
+		sb.WriteByte('_')
+		for _, b := range raw {
+			c := byte('a' + (b % 26))
+			sb.WriteByte(c)
+		}
+		id := sb.String()
+		toks, err := Tokenize(id)
+		if err != nil || len(toks) != 1 {
+			return false
+		}
+		return toks[0].Text == id && (toks[0].Kind == Ident || toks[0].Kind == Keyword)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTokenizeConcatenation is a property test: lexing two statements joined
+// by whitespace yields the concatenation of their token streams.
+func TestTokenizeConcatenation(t *testing.T) {
+	pieces := []string{"int x = 1;", "for (i = 0; i < n; i++) {}", "a[i] += b[i] * 2.5;"}
+	var all []Token
+	var joined strings.Builder
+	for _, p := range pieces {
+		toks := mustTokenize(t, p)
+		all = append(all, toks...)
+		joined.WriteString(p)
+		joined.WriteString("\n")
+	}
+	got := mustTokenize(t, joined.String())
+	if len(got) != len(all) {
+		t.Fatalf("concatenated stream has %d tokens, want %d", len(got), len(all))
+	}
+	for i := range got {
+		if got[i].Text != all[i].Text || got[i].Kind != all[i].Kind {
+			t.Errorf("token %d = %v, want %v", i, got[i], all[i])
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package cluster simulates the batch-scheduled data collection the paper
+// describes in §IV-A.3: jobs submitted to HPC cluster nodes, sporadic node
+// failures and time limits forcing resubmission, and bookkeeping of which
+// measurements succeeded. The dataset generator runs every simulated
+// measurement through this substrate, exercising the same
+// submit/fail/retry/collect control flow the authors had on Summit and
+// Corona — with deterministic, seeded failures.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Job is one unit of work (in this repository: one runtime measurement).
+type Job struct {
+	ID  string
+	Run func() (float64, error)
+}
+
+// Result is the outcome of a job after retries.
+type Result struct {
+	JobID    string
+	Value    float64
+	Err      error   // non-nil when the job exhausted its retries
+	Attempts int     // total attempts, including the successful one
+	Node     int     // node that ran the final attempt
+	WaitTime float64 // simulated queue wait, arbitrary units
+}
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Nodes is the worker count (compute nodes). Zero selects 4.
+	Nodes int
+	// FailureRate is the per-attempt probability of a simulated node
+	// failure (the paper: "our job would not run for long due to node
+	// failure or time constraints"). Deterministic per job ID and attempt.
+	FailureRate float64
+	// MaxRetries is how many times a failed job is resubmitted. Zero
+	// selects 3.
+	MaxRetries int
+	// Seed makes failures reproducible.
+	Seed int64
+}
+
+func (c Config) nodes() int {
+	if c.Nodes <= 0 {
+		return 4
+	}
+	return c.Nodes
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxRetries <= 0 {
+		return 3
+	}
+	return c.MaxRetries
+}
+
+// ErrNodeFailure is the simulated infrastructure failure injected by the
+// cluster; it is retryable.
+var ErrNodeFailure = errors.New("cluster: node failure")
+
+// Stats aggregates a submission campaign.
+type Stats struct {
+	Submitted int
+	Succeeded int
+	Failed    int // exhausted retries
+	Retries   int // attempts beyond the first, summed over jobs
+}
+
+// Cluster runs jobs on simulated nodes.
+type Cluster struct {
+	cfg Config
+}
+
+// New returns a cluster with the given configuration.
+func New(cfg Config) *Cluster { return &Cluster{cfg: cfg} }
+
+// Submit runs all jobs across the cluster's nodes and returns their results
+// in job order, plus campaign statistics. Jobs run concurrently (one worker
+// per node); each failed attempt is retried up to MaxRetries times.
+// Injected node failures and real job errors are distinguished: a job whose
+// Run returns an error is NOT retried (a broken kernel stays broken), while
+// node failures are.
+func (c *Cluster) Submit(jobs []Job) ([]Result, Stats) {
+	nodes := c.cfg.nodes()
+	results := make([]Result, len(jobs))
+	var wg sync.WaitGroup
+	work := make(chan int)
+
+	worker := func(node int) {
+		defer wg.Done()
+		for idx := range work {
+			results[idx] = c.runJob(jobs[idx], node)
+		}
+	}
+	wg.Add(nodes)
+	for n := 0; n < nodes; n++ {
+		go worker(n)
+	}
+	for i := range jobs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	var st Stats
+	st.Submitted = len(jobs)
+	for _, r := range results {
+		if r.Err == nil {
+			st.Succeeded++
+		} else {
+			st.Failed++
+		}
+		st.Retries += r.Attempts - 1
+	}
+	return results, st
+}
+
+// runJob attempts one job with retries on injected node failures.
+func (c *Cluster) runJob(j Job, node int) Result {
+	res := Result{JobID: j.ID, Node: node}
+	maxAttempts := c.cfg.maxRetries() + 1
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		res.Attempts = attempt + 1
+		res.WaitTime += c.queueWait(j.ID, attempt)
+		if c.injectFailure(j.ID, attempt) {
+			res.Err = fmt.Errorf("%w (job %s, attempt %d)", ErrNodeFailure, j.ID, attempt+1)
+			continue
+		}
+		v, err := j.Run()
+		if err != nil {
+			// Real job error: no point resubmitting.
+			res.Err = err
+			return res
+		}
+		res.Value = v
+		res.Err = nil
+		return res
+	}
+	return res
+}
+
+// injectFailure decides deterministically whether attempt k of job id hits a
+// simulated node failure.
+func (c *Cluster) injectFailure(id string, attempt int) bool {
+	if c.cfg.FailureRate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{byte(attempt)})
+	rng := rand.New(rand.NewSource(int64(h.Sum64()) ^ c.cfg.Seed))
+	return rng.Float64() < c.cfg.FailureRate
+}
+
+// queueWait produces a small deterministic queue-wait figure so campaign
+// statistics have a realistic texture.
+func (c *Cluster) queueWait(id string, attempt int) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	h.Write([]byte{0xff, byte(attempt)})
+	rng := rand.New(rand.NewSource(int64(h.Sum64()) ^ c.cfg.Seed))
+	return rng.Float64() * 10
+}
+
+// FailedJobs extracts the IDs of jobs that exhausted retries, sorted.
+func FailedJobs(results []Result) []string {
+	var ids []string
+	for _, r := range results {
+		if r.Err != nil {
+			ids = append(ids, r.JobID)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}

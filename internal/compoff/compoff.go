@@ -1,0 +1,252 @@
+// Package compoff reimplements the paper's baseline: COMPOFF (Mishra et
+// al., IPDPSW'22), a portable OpenMP-offloading cost model that feeds
+// hand-engineered static kernel features — operation counts, memory
+// accesses, loop structure, transfer volume, parallelism configuration —
+// into a stacked multi-layer perceptron to predict kernel runtime. As in
+// the paper, it targets GPU execution only (§V-D: "COMPOFF is currently
+// only suitable for GPU execution") and serves as the comparison point for
+// Figures 8 and 9.
+package compoff
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"paragraph/internal/analysis"
+	"paragraph/internal/autodiff"
+	"paragraph/internal/cparse"
+	"paragraph/internal/nn"
+	"paragraph/internal/tensor"
+	"paragraph/internal/variants"
+)
+
+// NumFeatures is the engineered feature vector width.
+const NumFeatures = 13
+
+// FeatureNames documents the feature vector layout.
+var FeatureNames = [NumFeatures]string{
+	"log_flops", "log_intops", "log_loads", "log_stores", "log_branches",
+	"log_mathcalls", "log_transfer_bytes", "log_parallel_iters",
+	"collapse_depth", "loop_depth", "log_teams", "log_threads", "reductions",
+}
+
+// Features is one engineered feature vector.
+type Features [NumFeatures]float64
+
+// Extract computes the COMPOFF feature vector for a kernel instance. This
+// is the manual feature engineering step the paper criticizes ("It requires
+// figuring out how many operations are contained within a kernel") —
+// implemented here via the same static analyzer the simulator uses.
+func Extract(in variants.Instance, defaultTrip float64) (Features, error) {
+	var f Features
+	fn, err := cparse.ParseFunction(in.Source)
+	if err != nil {
+		return f, fmt.Errorf("compoff: %w", err)
+	}
+	if defaultTrip <= 0 {
+		defaultTrip = 100
+	}
+	kc := analysis.AnalyzeKernel(fn, in.Bindings, defaultTrip)
+	f[0] = math.Log1p(kc.Flops)
+	f[1] = math.Log1p(kc.IntOps)
+	f[2] = math.Log1p(kc.Loads)
+	f[3] = math.Log1p(kc.Stores)
+	f[4] = math.Log1p(kc.Branches)
+	f[5] = math.Log1p(kc.MathCalls)
+	f[6] = math.Log1p(kc.TransferBytes)
+	f[7] = math.Log1p(kc.ParallelIters)
+	f[8] = float64(kc.CollapseDepth)
+	f[9] = float64(kc.MaxLoopDepth)
+	f[10] = math.Log1p(float64(in.Teams))
+	f[11] = math.Log1p(float64(in.Threads))
+	f[12] = float64(kc.ReductionOps)
+	return f, nil
+}
+
+// Sample is one COMPOFF training example.
+type Sample struct {
+	Feats  Features
+	Target float64 // scaled log-runtime, same scaling as the GNN's
+	RawUS  float64
+	Name   string
+}
+
+// Model is the stacked MLP: NumFeatures → H → H → 1 with ReLU.
+type Model struct {
+	l1, l2, out *nn.Linear
+	params      []*nn.Parameter
+	// feature scaling fitted on the training set
+	mins, maxs Features
+	fitted     bool
+}
+
+// Config shapes the baseline model.
+type Config struct {
+	Hidden int // default 32
+	Seed   int64
+}
+
+// NewModel constructs the MLP.
+func NewModel(cfg Config) *Model {
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = 32
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{
+		l1:  nn.NewLinear("compoff.l1", NumFeatures, cfg.Hidden, rng),
+		l2:  nn.NewLinear("compoff.l2", cfg.Hidden, cfg.Hidden, rng),
+		out: nn.NewLinear("compoff.out", cfg.Hidden, 1, rng),
+	}
+	m.params = append(m.params, m.l1.Params()...)
+	m.params = append(m.params, m.l2.Params()...)
+	m.params = append(m.params, m.out.Params()...)
+	return m
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*nn.Parameter { return m.params }
+
+// FitScaler learns per-feature MinMax bounds from the training samples.
+func (m *Model) FitScaler(samples []*Sample) {
+	for j := 0; j < NumFeatures; j++ {
+		m.mins[j] = math.Inf(1)
+		m.maxs[j] = math.Inf(-1)
+	}
+	for _, s := range samples {
+		for j, v := range s.Feats {
+			if v < m.mins[j] {
+				m.mins[j] = v
+			}
+			if v > m.maxs[j] {
+				m.maxs[j] = v
+			}
+		}
+	}
+	m.fitted = true
+}
+
+// scaleRow normalizes a feature vector to [0,1] per feature.
+func (m *Model) scaleRow(f Features) *tensor.Matrix {
+	row := tensor.New(1, NumFeatures)
+	for j, v := range f {
+		lo, hi := m.mins[j], m.maxs[j]
+		if !m.fitted || hi <= lo {
+			row.Data[j] = 0
+			continue
+		}
+		x := (v - lo) / (hi - lo)
+		row.Data[j] = math.Max(0, math.Min(1, x))
+	}
+	return row
+}
+
+// forward computes the scaled prediction for one sample.
+func (m *Model) forward(f *nn.Forward, s *Sample) *autodiff.Var {
+	tp := f.Tape
+	x := tp.Const(m.scaleRow(s.Feats))
+	h := tp.ReLU(m.l1.Apply(f, x))
+	h = tp.ReLU(m.l2.Apply(f, h))
+	return m.out.Apply(f, h)
+}
+
+// Predict returns the scaled prediction for one sample.
+func (m *Model) Predict(s *Sample) float64 {
+	fw := nn.NewInference()
+	return m.forward(fw, s).Value.At(0, 0)
+}
+
+// PredictAll returns scaled predictions for all samples.
+func (m *Model) PredictAll(samples []*Sample) []float64 {
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = m.Predict(s)
+	}
+	return out
+}
+
+// TrainConfig controls optimization.
+type TrainConfig struct {
+	Epochs    int     // default 60
+	BatchSize int     // default 32
+	LR        float64 // default 3e-3
+	Seed      int64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 60
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LR <= 0 {
+		c.LR = 3e-3
+	}
+	return c
+}
+
+// History records per-epoch diagnostics.
+type History struct {
+	TrainLoss []float64
+	ValRMSE   []float64
+}
+
+// Train fits the MLP with Adam + MSE (the original COMPOFF recipe). It fits
+// the feature scaler on train if not already fitted.
+func (m *Model) Train(train, val []*Sample, cfg TrainConfig) (History, error) {
+	cfg = cfg.withDefaults()
+	if len(train) == 0 {
+		return History{}, fmt.Errorf("compoff: empty training set")
+	}
+	if !m.fitted {
+		m.FitScaler(train)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := nn.NewAdam(cfg.LR)
+	order := rng.Perm(len(train))
+	var hist History
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		var batches int
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			scale := 1 / float64(len(batch))
+			var loss float64
+			for _, idx := range batch {
+				s := train[idx]
+				fw := nn.NewForward()
+				pred := m.forward(fw, s)
+				lv := fw.Tape.MSE(pred, tensor.Scalar(s.Target))
+				fw.Backward(lv)
+				fw.Accumulate(scale)
+				loss += lv.Value.At(0, 0) * scale
+			}
+			nn.ClipGradNorm(m.params, 5)
+			opt.Step(m.params)
+			epochLoss += loss
+			batches++
+		}
+		hist.TrainLoss = append(hist.TrainLoss, epochLoss/float64(batches))
+		hist.ValRMSE = append(hist.ValRMSE, m.EvalRMSE(val))
+	}
+	return hist, nil
+}
+
+// EvalRMSE returns the scaled-space RMSE over samples (0 when empty).
+func (m *Model) EvalRMSE(samples []*Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, s := range samples {
+		d := m.Predict(s) - s.Target
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(len(samples)))
+}

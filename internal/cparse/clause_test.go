@@ -1,0 +1,165 @@
+package cparse
+
+import (
+	"testing"
+
+	"paragraph/internal/analysis"
+	"paragraph/internal/cast"
+	"paragraph/internal/omp"
+)
+
+func TestClausePayloadNodes(t *testing.T) {
+	root := mustParse(t, `
+void k(double *a, double *b, int n, int m) {
+    #pragma omp target teams distribute parallel for collapse(2) num_teams(8) map(tofrom: a[0:n*m]) map(to: b[0:n]) reduction(+: n)
+    for (int i = 0; i < n; i++)
+        for (int j = 0; j < m; j++)
+            a[i * m + j] = b[i];
+}`)
+	dir := cast.Directives(root)[0]
+	clauses := cast.FindAll(dir, cast.KindOMPClause)
+	if len(clauses) != 5 {
+		t.Fatalf("clause nodes = %d, want 5:\n%s", len(clauses), cast.DumpString(dir))
+	}
+	byKind := map[omp.ClauseKind][]*cast.Node{}
+	for _, c := range clauses {
+		byKind[c.Clause] = append(byKind[c.Clause], c)
+	}
+
+	// collapse(2): one IntegerLiteral child with value 2.
+	col := byKind[omp.ClauseCollapse]
+	if len(col) != 1 || len(col[0].Children) != 1 {
+		t.Fatalf("collapse clause shape wrong")
+	}
+	if v, ok := analysis.Eval(col[0].Children[0], nil); !ok || v != 2 {
+		t.Errorf("collapse literal = %v, %v", v, ok)
+	}
+
+	// map(tofrom: a[0:n*m]): ArraySubscriptExpr with resolved base and a
+	// length expression referencing the parameters.
+	maps := byKind[omp.ClauseMap]
+	if len(maps) != 2 {
+		t.Fatalf("map clauses = %d", len(maps))
+	}
+	sect := maps[0].Children[0]
+	if sect.Kind != cast.KindArraySubscriptExpr {
+		t.Fatalf("section node = %s", sect)
+	}
+	base := sect.Children[0]
+	if base.Kind != cast.KindDeclRefExpr || base.Name != "a" {
+		t.Errorf("section base = %s", base)
+	}
+	if base.Ref == nil || base.Ref.Kind != cast.KindParmVarDecl {
+		t.Error("section base unresolved")
+	}
+	if v, ok := analysis.Eval(sect.Children[1], analysis.Env{"n": 10, "m": 5}); !ok || v != 50 {
+		t.Errorf("section length eval = %v, %v; want 50", v, ok)
+	}
+
+	// reduction(+: n): DeclRefExpr child resolved to the parameter, with
+	// the reducer recorded.
+	red := byKind[omp.ClauseReduction]
+	if len(red) != 1 || red[0].Op != "+" {
+		t.Fatalf("reduction clause shape wrong: %+v", red)
+	}
+	if red[0].Children[0].Ref == nil {
+		t.Error("reduction variable unresolved")
+	}
+
+	// The associated loop is reachable via AssociatedStmt and is the last
+	// child.
+	loop := analysis.AssociatedStmt(dir)
+	if loop == nil || loop.Kind != cast.KindForStmt {
+		t.Fatalf("associated stmt = %v", loop)
+	}
+	if dir.Children[len(dir.Children)-1] != loop {
+		t.Error("associated stmt is not the last child")
+	}
+}
+
+func TestClauseNodesAbsentWithoutClauses(t *testing.T) {
+	root := mustParse(t, `
+void k(double *a, int n) {
+    #pragma omp parallel for
+    for (int i = 0; i < n; i++) a[i] = 0.0;
+}`)
+	dir := cast.Directives(root)[0]
+	if len(dir.Children) != 1 {
+		t.Fatalf("children = %d, want 1 (loop only)", len(dir.Children))
+	}
+	if got := len(cast.FindAll(root, cast.KindOMPClause)); got != 0 {
+		t.Errorf("clause nodes = %d, want 0", got)
+	}
+}
+
+func TestSectionNodeBareName(t *testing.T) {
+	root := mustParse(t, `
+void k(double *a, int n) {
+    #pragma omp target map(tofrom: a) num_threads(4)
+    { a[0] = 1.0; }
+}`)
+	dir := cast.Directives(root)[0]
+	maps := cast.FindAll(dir, cast.KindOMPClause)
+	var mapClause *cast.Node
+	for _, c := range maps {
+		if c.Clause == omp.ClauseMap {
+			mapClause = c
+		}
+	}
+	if mapClause == nil {
+		t.Fatal("no map clause node")
+	}
+	if mapClause.Children[0].Kind != cast.KindDeclRefExpr {
+		t.Errorf("bare map arg = %s, want DeclRefExpr", mapClause.Children[0])
+	}
+}
+
+func TestEmbeddedExprFallback(t *testing.T) {
+	// An unresolvable section length must not break parsing.
+	root := mustParse(t, `
+void k(double *a, int n) {
+    #pragma omp target teams distribute parallel for map(to: a[0:@@bad@@])
+    for (int i = 0; i < n; i++) a[i] = 0.0;
+}`)
+	dir := cast.Directives(root)[0]
+	if dir == nil {
+		t.Fatal("directive lost")
+	}
+	// The malformed expression degrades to a raw DeclRefExpr. Search only
+	// the clause payload (the loop body has subscripts of its own).
+	clause := cast.FindAll(dir, cast.KindOMPClause)[0]
+	sect := cast.FindAll(clause, cast.KindArraySubscriptExpr)
+	if len(sect) != 1 {
+		t.Fatalf("sections = %d", len(sect))
+	}
+	idx := sect[0].Children[1]
+	for idx.Kind == cast.KindImplicitCastExpr { // rvalue wrapping applies here too
+		idx = idx.Children[0]
+	}
+	if idx.Kind != cast.KindDeclRefExpr {
+		t.Errorf("fallback node = %s", idx)
+	}
+}
+
+func TestAnalyzerIgnoresClausePayloadCost(t *testing.T) {
+	// The n*m multiply inside map(...) must not count as kernel work.
+	withMap := mustParse(t, `
+void k(double *a, int n, int m) {
+    #pragma omp target teams distribute parallel for map(tofrom: a[0:n*m])
+    for (int i = 0; i < n; i++) a[i] = a[i] + 1.0;
+}`)
+	withoutMap := mustParse(t, `
+void k(double *a, int n, int m) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < n; i++) a[i] = a[i] + 1.0;
+}`)
+	env := analysis.Env{"n": 100, "m": 100}
+	a := analysis.AnalyzeKernel(cast.FindFunction(withMap, "k"), env, 100)
+	b := analysis.AnalyzeKernel(cast.FindFunction(withoutMap, "k"), env, 100)
+	if a.Flops != b.Flops || a.IntOps != b.IntOps {
+		t.Errorf("clause payload leaked into op counts: %+v vs %+v", a, b)
+	}
+	if a.TransferBytes == 0 || b.TransferBytes != 0 {
+		t.Errorf("transfer accounting wrong: %v / %v", a.TransferBytes, b.TransferBytes)
+	}
+}

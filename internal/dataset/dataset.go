@@ -1,0 +1,341 @@
+// Package dataset assembles the training data of Figure 3: kernel variants
+// (package variants) are "executed" on the modeled accelerators through the
+// cluster substrate (packages sim and cluster), runtimes are recorded per
+// platform (Table II), ParaGraphs are built and encoded, and finally
+// targets, edge weights and the (teams, threads) features are normalized
+// with a MinMax scaler and split 9:1 into train/validation — matching
+// §IV-B.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"paragraph/internal/cluster"
+	"paragraph/internal/gnn"
+	"paragraph/internal/hw"
+	"paragraph/internal/metrics"
+	"paragraph/internal/paragraph"
+	"paragraph/internal/sim"
+	"paragraph/internal/variants"
+)
+
+// Point is one measured data point: a kernel instance with its runtime on
+// one platform.
+type Point struct {
+	Instance  variants.Instance
+	Machine   string
+	RuntimeUS float64
+}
+
+// Platform is the per-accelerator dataset slice (one row of Table II).
+type Platform struct {
+	Machine hw.Machine
+	Points  []Point
+	Failed  int // measurements lost to simulated node failures
+}
+
+// Stats summarizes a platform slice as Table II reports it.
+type Stats struct {
+	NumPoints    int
+	MinRuntimeMS float64
+	MaxRuntimeMS float64
+	StdDevMS     float64
+}
+
+// Stats computes the Table II row for the platform.
+func (p *Platform) Stats() Stats {
+	ms := make([]float64, len(p.Points))
+	for i, pt := range p.Points {
+		ms[i] = pt.RuntimeUS / 1000
+	}
+	s := Stats{NumPoints: len(ms)}
+	if len(ms) == 0 {
+		return s
+	}
+	s.MinRuntimeMS = ms[0]
+	s.MaxRuntimeMS = ms[0]
+	for _, v := range ms {
+		if v < s.MinRuntimeMS {
+			s.MinRuntimeMS = v
+		}
+		if v > s.MaxRuntimeMS {
+			s.MaxRuntimeMS = v
+		}
+	}
+	s.StdDevMS = metrics.StdDev(ms)
+	return s
+}
+
+// Config controls collection.
+type Config struct {
+	Sweep   variants.SweepConfig
+	Sim     sim.Config
+	Cluster cluster.Config
+	// MaxPerPlatform subsamples the instance list per platform (0 = all);
+	// used to keep test/bench runs fast.
+	MaxPerPlatform int
+	Seed           int64
+}
+
+// DefaultConfig mirrors the paper's collection at reduced scale.
+func DefaultConfig() Config {
+	return Config{
+		Sweep:   variants.DefaultSweep(),
+		Sim:     sim.Config{Seed: 1},
+		Cluster: cluster.Config{Nodes: runtime.GOMAXPROCS(0), FailureRate: 0.01, MaxRetries: 3, Seed: 1},
+		Seed:    1,
+	}
+}
+
+// Collect generates the dataset slice for one platform: CPU machines
+// measure the cpu/cpu_collapse variants, GPU machines the four gpu
+// variants, as in the paper's Summit/Corona runs. Measurements go through
+// the cluster substrate, so a small fraction is lost to simulated node
+// failures (and excluded, like the paper's corrupted Laplace data on MI50).
+func Collect(m hw.Machine, cfg Config) (*Platform, error) {
+	all, err := variants.SweepAll(cfg.Sweep)
+	if err != nil {
+		return nil, err
+	}
+	var mine []variants.Instance
+	for _, in := range all {
+		if in.Kind.IsGPU() == m.IsGPU {
+			mine = append(mine, in)
+		}
+	}
+	if cfg.MaxPerPlatform > 0 && len(mine) > cfg.MaxPerPlatform {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(len(m.Name))))
+		rng.Shuffle(len(mine), func(i, j int) { mine[i], mine[j] = mine[j], mine[i] })
+		mine = mine[:cfg.MaxPerPlatform]
+		sort.Slice(mine, func(i, j int) bool { return mine[i].Name() < mine[j].Name() })
+	}
+
+	jobs := make([]cluster.Job, len(mine))
+	for i, in := range mine {
+		in := in
+		jobs[i] = cluster.Job{
+			ID: in.Name(),
+			Run: func() (float64, error) {
+				r, err := sim.Simulate(in, m, cfg.Sim)
+				if err != nil {
+					return 0, err
+				}
+				return r.MicroSec, nil
+			},
+		}
+	}
+	cl := cluster.New(cfg.Cluster)
+	results, stats := cl.Submit(jobs)
+
+	p := &Platform{Machine: m, Failed: stats.Failed}
+	for i, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		p.Points = append(p.Points, Point{
+			Instance:  mine[i],
+			Machine:   m.Name,
+			RuntimeUS: r.Value,
+		})
+	}
+	if len(p.Points) == 0 {
+		return nil, fmt.Errorf("dataset: no successful measurements on %s", m.Name)
+	}
+	return p, nil
+}
+
+// CollectAll builds all four platform slices (Table II).
+func CollectAll(cfg Config) ([]*Platform, error) {
+	var out []*Platform
+	for _, m := range hw.All() {
+		p, err := Collect(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Scaler is the MinMax scaler of §IV-B, mapping [min,max] to [0,1].
+type Scaler struct {
+	Min, Max float64
+}
+
+// FitScaler learns the bounds of xs.
+func FitScaler(xs []float64) Scaler {
+	if len(xs) == 0 {
+		return Scaler{0, 1}
+	}
+	s := Scaler{Min: xs[0], Max: xs[0]}
+	for _, v := range xs[1:] {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	return s
+}
+
+// Scale maps v into [0,1] (clamping outside the fitted range).
+func (s Scaler) Scale(v float64) float64 {
+	if s.Max <= s.Min {
+		return 0
+	}
+	x := (v - s.Min) / (s.Max - s.Min)
+	return math.Max(0, math.Min(1, x))
+}
+
+// Unscale inverts Scale (without clamping).
+func (s Scaler) Unscale(x float64) float64 { return s.Min + x*(s.Max-s.Min) }
+
+// Prepared is a platform dataset ready for training.
+type Prepared struct {
+	Train []*gnn.Sample
+	Val   []*gnn.Sample
+	// TargetScaler maps log(runtime µs) to [0,1]; DescaleUS inverts a
+	// scaled prediction back to microseconds.
+	TargetScaler Scaler
+	TeamScaler   Scaler
+	ThreadScaler Scaler
+	WScale       float64
+}
+
+// DescaleUS converts a scaled model output back to microseconds.
+func (p *Prepared) DescaleUS(scaled float64) float64 {
+	return math.Exp(p.TargetScaler.Unscale(scaled))
+}
+
+// PrepConfig controls sample preparation.
+type PrepConfig struct {
+	Level       paragraph.Level
+	ValFraction float64 // default 0.1 (paper: 9:1 split)
+	Seed        int64
+	Workers     int // graph-building workers; default GOMAXPROCS
+	DefaultTrip float64
+}
+
+func (c PrepConfig) withDefaults() PrepConfig {
+	if c.ValFraction <= 0 || c.ValFraction >= 1 {
+		c.ValFraction = 0.1
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Prepare builds graph samples for every point at the requested
+// representation level, fits the scalers on the whole slice, and splits
+// train/validation.
+func Prepare(points []Point, cfg PrepConfig) (*Prepared, error) {
+	cfg = cfg.withDefaults()
+	if len(points) == 0 {
+		return nil, fmt.Errorf("dataset: no points to prepare")
+	}
+
+	samples := make([]*gnn.Sample, len(points))
+	errs := make([]error, len(points))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	workers := cfg.Workers
+	if workers > len(points) {
+		workers = len(points)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				samples[i], errs[i] = buildSample(points[i], cfg)
+			}
+		}()
+	}
+	for i := range points {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dataset: point %d (%s): %w", i, points[i].Instance.Name(), err)
+		}
+	}
+
+	// Fit scalers over the full slice (targets in log-space: runtimes span
+	// orders of magnitude, as Table II's ranges show).
+	logT := make([]float64, len(samples))
+	teams := make([]float64, len(samples))
+	threads := make([]float64, len(samples))
+	var wmax float64
+	for i, s := range samples {
+		logT[i] = math.Log(math.Max(s.RawUS, 1e-3))
+		teams[i] = float64(points[i].Instance.Teams)
+		threads[i] = float64(points[i].Instance.Threads)
+		if w := s.G.MaxLogWeight(); w > wmax {
+			wmax = w
+		}
+	}
+	prep := &Prepared{
+		TargetScaler: FitScaler(logT),
+		TeamScaler:   FitScaler(teams),
+		ThreadScaler: FitScaler(threads),
+		WScale:       math.Max(wmax, 1),
+	}
+	for i, s := range samples {
+		s.Target = prep.TargetScaler.Scale(logT[i])
+		s.Feats = [2]float64{prep.TeamScaler.Scale(teams[i]), prep.ThreadScaler.Scale(threads[i])}
+		s.G.WScale = prep.WScale
+	}
+
+	// 9:1 shuffle split.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	order := rng.Perm(len(samples))
+	nVal := int(float64(len(samples)) * cfg.ValFraction)
+	if nVal < 1 {
+		nVal = 1
+	}
+	for i, idx := range order {
+		if i < nVal {
+			prep.Val = append(prep.Val, samples[idx])
+		} else {
+			prep.Train = append(prep.Train, samples[idx])
+		}
+	}
+	return prep, nil
+}
+
+// buildSample parses and encodes one point's ParaGraph.
+func buildSample(pt Point, cfg PrepConfig) (*gnn.Sample, error) {
+	in := pt.Instance
+	// Weight division uses the thread count, not teams×threads: the paper
+	// divides iterations "by the number of threads" (§III-A.3), and using
+	// total GPU parallelism would clamp most annotated-loop weights to 1,
+	// collapsing different problem sizes onto identical graphs.
+	g, err := paragraph.BuildKernel(in.Source, paragraph.Options{
+		Level:       cfg.Level,
+		Threads:     in.Threads,
+		Bindings:    in.Bindings,
+		DefaultTrip: cfg.DefaultTrip,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eg, err := gnn.Encode(g, int(paragraph.NumEdgeTypes))
+	if err != nil {
+		return nil, err
+	}
+	return &gnn.Sample{
+		G:     eg,
+		RawUS: pt.RuntimeUS,
+		App:   in.Kernel.App,
+		Name:  in.Name(),
+	}, nil
+}

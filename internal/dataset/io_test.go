@@ -1,0 +1,51 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"paragraph/internal/hw"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := collect(t, hw.V100())
+	var buf bytes.Buffer
+	if err := SavePoints(&buf, p.Points); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPoints(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(p.Points) {
+		t.Fatalf("loaded %d, want %d", len(loaded), len(p.Points))
+	}
+	for i := range loaded {
+		a, b := p.Points[i], loaded[i]
+		if a.Instance.Name() != b.Instance.Name() {
+			t.Errorf("point %d name: %q vs %q", i, a.Instance.Name(), b.Instance.Name())
+		}
+		if a.RuntimeUS != b.RuntimeUS || a.Machine != b.Machine {
+			t.Errorf("point %d payload differs", i)
+		}
+		if a.Instance.Source != b.Instance.Source {
+			t.Errorf("point %d source not regenerated identically", i)
+		}
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"{not json",
+		`{"version": 2, "points": []}`,
+		`{"version": 1, "points": [{"kernel": "nope", "kind": "cpu"}]}`,
+		`{"version": 1, "points": [{"kernel": "matmul", "kind": "sideways"}]}`,
+		`{"version": 1, "points": [{"kernel": "correlation_pearson", "kind": "cpu_collapse"}]}`,
+	}
+	for _, c := range cases {
+		if _, err := LoadPoints(strings.NewReader(c)); err == nil {
+			t.Errorf("LoadPoints(%q) succeeded", c)
+		}
+	}
+}

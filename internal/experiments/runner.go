@@ -1,0 +1,279 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV–V). A Runner caches the expensive shared artifacts —
+// collected platform datasets, prepared samples, trained models — so the
+// table/figure functions compose without repeating work. The experiment
+// index in DESIGN.md maps each function here to the paper artifact it
+// reproduces.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"paragraph/internal/cluster"
+	"paragraph/internal/compoff"
+	"paragraph/internal/dataset"
+	"paragraph/internal/gnn"
+	"paragraph/internal/hw"
+	"paragraph/internal/paragraph"
+	"paragraph/internal/sim"
+	"paragraph/internal/variants"
+)
+
+// Scale sizes an experiment run. The paper's full protocol (~26k points per
+// platform pair, 100+ epochs) is reachable with Full(); Small() keeps the
+// whole suite in CI/laptop territory while preserving every qualitative
+// conclusion; Tiny() is for benchmarks and smoke tests.
+type Scale struct {
+	Name           string
+	MaxPerPlatform int // dataset points per platform (0 = everything)
+	Epochs         int // GNN training epochs
+	CompoffEpochs  int
+	Hidden         int // GNN width
+	Layers         int // RGAT layers (paper: 3)
+	BatchSize      int
+	LR             float64
+	Seed           int64
+}
+
+// Tiny is the smoke-test scale.
+func Tiny() Scale {
+	return Scale{Name: "tiny", MaxPerPlatform: 120, Epochs: 8, CompoffEpochs: 15,
+		Hidden: 12, Layers: 2, BatchSize: 16, LR: 5e-3, Seed: 1}
+}
+
+// Small is the default scale: minutes on a laptop, same conclusions.
+func Small() Scale {
+	return Scale{Name: "small", MaxPerPlatform: 640, Epochs: 36, CompoffEpochs: 60,
+		Hidden: 24, Layers: 3, BatchSize: 32, LR: 3e-3, Seed: 1}
+}
+
+// Full approximates the paper's protocol. Hours of CPU time.
+func Full() Scale {
+	return Scale{Name: "full", MaxPerPlatform: 0, Epochs: 100, CompoffEpochs: 100,
+		Hidden: 32, Layers: 3, BatchSize: 64, LR: 3e-3, Seed: 1}
+}
+
+// Trained bundles a trained cost model with its data and training history.
+type Trained struct {
+	Model *gnn.Model
+	Prep  *dataset.Prepared
+	Hist  gnn.History
+	Level paragraph.Level
+}
+
+// ValActualPredUS returns (actual, predicted) runtimes in milliseconds over
+// the validation split.
+func (t *Trained) ValActualPredMS() (actual, pred []float64) {
+	preds := t.Model.PredictAll(t.Prep.Val, runtime.GOMAXPROCS(0))
+	actual = make([]float64, len(t.Prep.Val))
+	pred = make([]float64, len(t.Prep.Val))
+	for i, s := range t.Prep.Val {
+		actual[i] = s.RawUS / 1000
+		pred[i] = t.Prep.DescaleUS(preds[i]) / 1000
+	}
+	return actual, pred
+}
+
+// ValApps returns the application name of each validation sample.
+func (t *Trained) ValApps() []string {
+	apps := make([]string, len(t.Prep.Val))
+	for i, s := range t.Prep.Val {
+		apps[i] = s.App
+	}
+	return apps
+}
+
+// Runner caches datasets and models across experiments.
+type Runner struct {
+	Scale Scale
+
+	mu        sync.Mutex
+	platforms map[string]*dataset.Platform
+	prepared  map[string]*dataset.Prepared
+	trained   map[string]*Trained
+	compoffs  map[string]*trainedCompoff
+}
+
+type trainedCompoff struct {
+	model   *compoff.Model
+	samples []*compoff.Sample // validation split, aligned with GNN val set
+	prep    *dataset.Prepared
+	hist    compoff.History
+}
+
+// NewRunner returns a Runner at the given scale.
+func NewRunner(scale Scale) *Runner {
+	return &Runner{
+		Scale:     scale,
+		platforms: map[string]*dataset.Platform{},
+		prepared:  map[string]*dataset.Prepared{},
+		trained:   map[string]*Trained{},
+		compoffs:  map[string]*trainedCompoff{},
+	}
+}
+
+// datasetConfig derives the collection configuration from the scale.
+func (r *Runner) datasetConfig() dataset.Config {
+	return dataset.Config{
+		Sweep:          variants.DefaultSweep(),
+		Sim:            sim.Config{Seed: r.Scale.Seed},
+		Cluster:        cluster.Config{Nodes: runtime.GOMAXPROCS(0), FailureRate: 0.01, MaxRetries: 3, Seed: r.Scale.Seed},
+		MaxPerPlatform: r.Scale.MaxPerPlatform,
+		Seed:           r.Scale.Seed,
+	}
+}
+
+// Platform returns (collecting on first use) the dataset slice for machine m.
+func (r *Runner) Platform(m hw.Machine) (*dataset.Platform, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.platforms[m.Name]; ok {
+		return p, nil
+	}
+	p, err := dataset.Collect(m, r.datasetConfig())
+	if err != nil {
+		return nil, err
+	}
+	r.platforms[m.Name] = p
+	return p, nil
+}
+
+// Prepared returns (building on first use) the prepared samples for machine
+// m at a representation level.
+func (r *Runner) Prepared(m hw.Machine, level paragraph.Level) (*dataset.Prepared, error) {
+	p, err := r.Platform(m)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s/%d", m.Name, level)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prep, ok := r.prepared[key]; ok {
+		return prep, nil
+	}
+	prep, err := dataset.Prepare(p.Points, dataset.PrepConfig{
+		Level: level,
+		Seed:  r.Scale.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.prepared[key] = prep
+	return prep, nil
+}
+
+// Trained returns (training on first use) the GNN model for machine m at a
+// representation level.
+func (r *Runner) Trained(m hw.Machine, level paragraph.Level) (*Trained, error) {
+	prep, err := r.Prepared(m, level)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s/%d", m.Name, level)
+	r.mu.Lock()
+	if tr, ok := r.trained[key]; ok {
+		r.mu.Unlock()
+		return tr, nil
+	}
+	r.mu.Unlock()
+
+	model := gnn.NewModel(gnn.Config{
+		Hidden:    r.Scale.Hidden,
+		Layers:    r.Scale.Layers,
+		Relations: int(paragraph.NumEdgeTypes),
+		Seed:      r.Scale.Seed,
+	})
+	hist, err := model.Train(prep.Train, prep.Val, gnn.TrainConfig{
+		Epochs:    r.Scale.Epochs,
+		BatchSize: r.Scale.BatchSize,
+		LR:        r.Scale.LR,
+		Seed:      r.Scale.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trained{Model: model, Prep: prep, Hist: hist, Level: level}
+	r.mu.Lock()
+	r.trained[key] = tr
+	r.mu.Unlock()
+	return tr, nil
+}
+
+// Compoff returns (training on first use) the COMPOFF baseline for a GPU
+// machine. Its samples share the GNN's target scaling and 9:1 split so the
+// two models are compared on identical validation points (Figures 8–9).
+func (r *Runner) Compoff(m hw.Machine) (*trainedCompoff, error) {
+	if !m.IsGPU {
+		return nil, fmt.Errorf("experiments: COMPOFF supports GPU platforms only (got %s)", m.Name)
+	}
+	r.mu.Lock()
+	if tc, ok := r.compoffs[m.Name]; ok {
+		r.mu.Unlock()
+		return tc, nil
+	}
+	r.mu.Unlock()
+
+	p, err := r.Platform(m)
+	if err != nil {
+		return nil, err
+	}
+	prep, err := r.Prepared(m, paragraph.LevelParaGraph)
+	if err != nil {
+		return nil, err
+	}
+	// Index points by instance name to align COMPOFF samples with the
+	// GNN's split.
+	byName := map[string]dataset.Point{}
+	for _, pt := range p.Points {
+		byName[pt.Instance.Name()] = pt
+	}
+	build := func(gs []*gnn.Sample) ([]*compoff.Sample, error) {
+		out := make([]*compoff.Sample, len(gs))
+		for i, s := range gs {
+			pt, ok := byName[s.Name]
+			if !ok {
+				return nil, fmt.Errorf("experiments: point %s missing", s.Name)
+			}
+			feats, err := compoff.Extract(pt.Instance, 0)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = &compoff.Sample{Feats: feats, Target: s.Target, RawUS: s.RawUS, Name: s.Name}
+		}
+		return out, nil
+	}
+	trainS, err := build(prep.Train)
+	if err != nil {
+		return nil, err
+	}
+	valS, err := build(prep.Val)
+	if err != nil {
+		return nil, err
+	}
+	model := compoff.NewModel(compoff.Config{Hidden: 32, Seed: r.Scale.Seed})
+	hist, err := model.Train(trainS, valS, compoff.TrainConfig{
+		Epochs: r.Scale.CompoffEpochs,
+		Seed:   r.Scale.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tc := &trainedCompoff{model: model, samples: valS, prep: prep, hist: hist}
+	r.mu.Lock()
+	r.compoffs[m.Name] = tc
+	r.mu.Unlock()
+	return tc, nil
+}
+
+// compoffValActualPredMS mirrors Trained.ValActualPredMS for the baseline.
+func (tc *trainedCompoff) valActualPredMS() (actual, pred []float64) {
+	actual = make([]float64, len(tc.samples))
+	pred = make([]float64, len(tc.samples))
+	for i, s := range tc.samples {
+		actual[i] = s.RawUS / 1000
+		pred[i] = tc.prep.DescaleUS(tc.model.Predict(s)) / 1000
+	}
+	return actual, pred
+}

@@ -1,0 +1,129 @@
+// Package gnn implements the paper's cost model: a Relational Graph
+// Attention Network (RGAT, Busbridge et al.) over ParaGraph representations,
+// with the architecture of §IV-B — three relational graph attention
+// convolutions, two fully connected layers on the pooled graph embedding, a
+// separate embedding of the (teams, threads) features, and a final fully
+// connected regression head predicting kernel runtime.
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"paragraph/internal/graph"
+	"paragraph/internal/tensor"
+)
+
+// MaxSubKinds bounds the sub-kind vocabulary (operator codes, OMP directive
+// codes); out-of-range codes are clamped.
+const MaxSubKinds = 64
+
+// Relation holds the edges of one type in tensorized form.
+type Relation struct {
+	Src  []int
+	Dst  []int
+	LogW []float64 // log1p of edge weights, scaled later by WScale
+}
+
+// Graph is a ParaGraph encoded for the model: integer node codes, a scalar
+// feature column, and per-relation edge lists.
+type Graph struct {
+	NumNodes int
+	Kinds    []int
+	SubKinds []int
+	Feats    *tensor.Matrix // N×1 scalar node features
+	Rels     []Relation     // indexed by edge type
+	// WScale divides LogW before it enters attention logits; the dataset
+	// fits it so weights land in [0, 1] (the paper's MinMaxScaler).
+	WScale float64
+}
+
+// Encode converts a built graph into model form. numRelations must be at
+// least the number of edge types used by the graph.
+func Encode(g *graph.Graph, numRelations int) (*Graph, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("gnn: encoding invalid graph: %w", err)
+	}
+	if g.NumNodes() == 0 {
+		return nil, fmt.Errorf("gnn: cannot encode empty graph")
+	}
+	eg := &Graph{
+		NumNodes: g.NumNodes(),
+		Kinds:    make([]int, g.NumNodes()),
+		SubKinds: make([]int, g.NumNodes()),
+		Feats:    tensor.New(g.NumNodes(), 1),
+		Rels:     make([]Relation, numRelations),
+		WScale:   1,
+	}
+	for i, n := range g.Nodes {
+		eg.Kinds[i] = n.Kind
+		sk := n.SubKind
+		if sk < 0 {
+			sk = 0
+		}
+		if sk >= MaxSubKinds {
+			sk = MaxSubKinds - 1
+		}
+		eg.SubKinds[i] = sk
+		eg.Feats.Set(i, 0, n.Feature)
+	}
+	for _, e := range g.Edges {
+		if e.Type < 0 || e.Type >= numRelations {
+			return nil, fmt.Errorf("gnn: edge type %d exceeds %d relations", e.Type, numRelations)
+		}
+		r := &eg.Rels[e.Type]
+		r.Src = append(r.Src, e.Src)
+		r.Dst = append(r.Dst, e.Dst)
+		r.LogW = append(r.LogW, math.Log1p(e.Weight))
+	}
+	return eg, nil
+}
+
+// MaxLogWeight returns the largest log1p edge weight in the graph.
+func (g *Graph) MaxLogWeight() float64 {
+	var mx float64
+	for _, r := range g.Rels {
+		for _, w := range r.LogW {
+			if w > mx {
+				mx = w
+			}
+		}
+	}
+	return mx
+}
+
+// NumEdges returns the total edge count across relations.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, r := range g.Rels {
+		n += len(r.Src)
+	}
+	return n
+}
+
+// weightColumn materializes relation r's scaled weight column (E×1).
+func (g *Graph) weightColumn(r int) *tensor.Matrix {
+	rel := g.Rels[r]
+	m := tensor.New(len(rel.LogW), 1)
+	scale := g.WScale
+	if scale <= 0 {
+		scale = 1
+	}
+	for i, w := range rel.LogW {
+		m.Data[i] = w / scale
+	}
+	return m
+}
+
+// Sample is one training/evaluation example: an encoded graph, the two
+// scaled runtime-configuration features (teams, threads — §III-B: "our
+// feature set also includes the number of teams and threads"), the scaled
+// regression target, and bookkeeping for metrics.
+type Sample struct {
+	G      *Graph
+	Feats  [2]float64 // scaled (teams, threads)
+	Target float64    // scaled runtime target
+	RawUS  float64    // unscaled runtime in microseconds
+	App    string     // application name (per-app error, Fig. 6)
+	Name   string     // instance identifier
+}

@@ -1,0 +1,129 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllPlatformsPresent(t *testing.T) {
+	ms := All()
+	if len(ms) != 4 {
+		t.Fatalf("machines = %d, want 4", len(ms))
+	}
+	wantClusters := map[string]string{
+		"IBM POWER9 (CPU)":   "Summit",
+		"NVIDIA V100 (GPU)":  "Summit",
+		"AMD EPYC7401 (CPU)": "Corona",
+		"AMD MI50 (GPU)":     "Corona",
+	}
+	for _, m := range ms {
+		want, ok := wantClusters[m.Name]
+		if !ok {
+			t.Errorf("unexpected machine %q", m.Name)
+			continue
+		}
+		if m.Cluster != want {
+			t.Errorf("%s cluster = %q, want %q", m.Name, m.Cluster, want)
+		}
+	}
+}
+
+func TestCoreCountsMatchPaper(t *testing.T) {
+	// Table III: POWER9 with 22 cores, EPYC 7401 with 24 cores.
+	if Power9().Cores != 22 {
+		t.Errorf("POWER9 cores = %d, want 22", Power9().Cores)
+	}
+	if EPYC7401().Cores != 24 {
+		t.Errorf("EPYC cores = %d, want 24", EPYC7401().Cores)
+	}
+	// Public specs: V100 has 80 SMs, MI50 has 60 CUs.
+	if V100().Cores != 80 {
+		t.Errorf("V100 SMs = %d, want 80", V100().Cores)
+	}
+	if MI50().Cores != 60 {
+		t.Errorf("MI50 CUs = %d, want 60", MI50().Cores)
+	}
+}
+
+func TestPeaksAreOrderedSanely(t *testing.T) {
+	// DP peak ordering: V100 ≳ MI50 ≫ POWER9 > EPYC.
+	v, mi := V100().PeakGFLOPS(), MI50().PeakGFLOPS()
+	p9, ep := Power9().PeakGFLOPS(), EPYC7401().PeakGFLOPS()
+	if v < mi {
+		t.Errorf("V100 peak %v < MI50 peak %v", v, mi)
+	}
+	if mi < 5*p9 {
+		t.Errorf("MI50 peak %v should dwarf POWER9 %v", mi, p9)
+	}
+	if p9 < ep {
+		t.Errorf("POWER9 peak %v < EPYC %v", p9, ep)
+	}
+	// V100 DP peak is ~7.8 TFLOPS; the model must land in that decade.
+	if v < 3000 || v > 20000 {
+		t.Errorf("V100 peak %v GFLOPS implausible", v)
+	}
+}
+
+func TestGPUMemoryBandwidthExceedsCPUs(t *testing.T) {
+	for _, g := range GPUs() {
+		for _, c := range CPUs() {
+			if g.MemBWGBs <= c.MemBWGBs {
+				t.Errorf("%s BW %v should exceed %s BW %v", g.Name, g.MemBWGBs, c.Name, c.MemBWGBs)
+			}
+		}
+	}
+}
+
+func TestGPULinkFields(t *testing.T) {
+	for _, g := range GPUs() {
+		if g.LinkBWGBs <= 0 || g.LinkLatencyUS <= 0 {
+			t.Errorf("%s: missing link model", g.Name)
+		}
+		if g.ThreadsPerCore <= 0 {
+			t.Errorf("%s: missing occupancy shape", g.Name)
+		}
+		if !g.IsGPU {
+			t.Errorf("%s: not marked GPU", g.Name)
+		}
+	}
+	for _, c := range CPUs() {
+		if c.SingleCoreBWFrac <= 0 || c.SingleCoreBWFrac > 1 {
+			t.Errorf("%s: SingleCoreBWFrac = %v", c.Name, c.SingleCoreBWFrac)
+		}
+	}
+}
+
+func TestMaxParallelism(t *testing.T) {
+	if got := Power9().MaxParallelism(); got != 22 {
+		t.Errorf("POWER9 parallelism = %d", got)
+	}
+	if got := V100().MaxParallelism(); got != 80*V100().ThreadsPerCore {
+		t.Errorf("V100 parallelism = %d", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, m := range All() {
+		got, err := ByName(m.Name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", m.Name, err)
+		}
+		if got.Name != m.Name {
+			t.Errorf("ByName returned %q", got.Name)
+		}
+	}
+	if _, err := ByName("Cray XT5"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if s := V100().String(); !strings.Contains(s, "V100") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSummitFasterLinkThanCorona(t *testing.T) {
+	// Summit's NVLink host connection outruns Corona's PCIe gen3 — the
+	// asymmetry that makes gpu_mem variants relatively cheaper on Summit.
+	if V100().LinkBWGBs <= MI50().LinkBWGBs {
+		t.Error("V100 link should be faster than MI50's")
+	}
+}

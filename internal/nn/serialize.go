@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"paragraph/internal/tensor"
+)
+
+// paramRecord is the on-disk form of one parameter.
+type paramRecord struct {
+	Name string    `json:"name"`
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// checkpoint is the on-disk envelope for a parameter set.
+type checkpoint struct {
+	Version int           `json:"version"`
+	Params  []paramRecord `json:"params"`
+}
+
+// SaveParams writes the parameters' values as JSON. Parameter names must be
+// unique (they are the load-time join key).
+func SaveParams(w io.Writer, params []*Parameter) error {
+	seen := map[string]bool{}
+	cp := checkpoint{Version: 1, Params: make([]paramRecord, len(params))}
+	for i, p := range params {
+		if p.Name == "" {
+			return fmt.Errorf("nn: parameter %d has no name", i)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+		cp.Params[i] = paramRecord{
+			Name: p.Name,
+			Rows: p.Value.Rows,
+			Cols: p.Value.Cols,
+			Data: p.Value.Data,
+		}
+	}
+	return json.NewEncoder(w).Encode(cp)
+}
+
+// LoadParams reads a checkpoint into the given parameters, matching by
+// name. Every parameter must be present with matching shape; extra
+// checkpoint entries are an error (they signal a model-architecture
+// mismatch).
+func LoadParams(r io.Reader, params []*Parameter) error {
+	var cp checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("nn: decoding checkpoint: %w", err)
+	}
+	if cp.Version != 1 {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", cp.Version)
+	}
+	byName := make(map[string]paramRecord, len(cp.Params))
+	for _, rec := range cp.Params {
+		byName[rec.Name] = rec
+	}
+	if len(byName) != len(cp.Params) {
+		return fmt.Errorf("nn: checkpoint has duplicate parameter names")
+	}
+	for _, p := range params {
+		rec, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: checkpoint missing parameter %q", p.Name)
+		}
+		if rec.Rows != p.Value.Rows || rec.Cols != p.Value.Cols {
+			return fmt.Errorf("nn: parameter %q shape %dx%d, checkpoint has %dx%d",
+				p.Name, p.Value.Rows, p.Value.Cols, rec.Rows, rec.Cols)
+		}
+		if len(rec.Data) != rec.Rows*rec.Cols {
+			return fmt.Errorf("nn: parameter %q data length %d != %d", p.Name, len(rec.Data), rec.Rows*rec.Cols)
+		}
+		p.Value = tensor.FromData(rec.Rows, rec.Cols, append([]float64(nil), rec.Data...))
+		delete(byName, p.Name)
+	}
+	if len(byName) != 0 {
+		for name := range byName {
+			return fmt.Errorf("nn: checkpoint parameter %q does not exist in the model", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,310 @@
+// Package tensor implements the dense float64 matrix kernels underpinning
+// the neural-network stack: allocation, element access, BLAS-like products
+// (with goroutine parallelism for large operands), and seeded random
+// initialization. It is the lowest layer of the substitute for the paper's
+// PyTorch-Geometric stack.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// New returns a zeroed Rows×Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromData wraps data (not copied) as a rows×cols matrix.
+func FromData(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix copying the given rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("tensor: ragged row %d: %d != %d", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Scalar wraps a single value as a 1×1 matrix.
+func Scalar(v float64) *Matrix { return FromData(1, 1, []float64{v}) }
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a mutable slice view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero clears the matrix in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// SameShape reports whether two matrices have identical dimensions.
+func (m *Matrix) SameShape(o *Matrix) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+// shapeCheck panics on mismatched shapes; internal fail-fast for programmer
+// errors (mismatches are bugs, not runtime conditions).
+func shapeCheck(cond bool, format string, args ...any) {
+	if !cond {
+		panic("tensor: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// AddInPlace adds o into m element-wise.
+func (m *Matrix) AddInPlace(o *Matrix) {
+	shapeCheck(m.SameShape(o), "AddInPlace %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols)
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Matrix) ScaleInPlace(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AxpyInPlace adds s*o into m.
+func (m *Matrix) AxpyInPlace(s float64, o *Matrix) {
+	shapeCheck(m.SameShape(o), "AxpyInPlace %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols)
+	for i, v := range o.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// Add returns m + o.
+func Add(m, o *Matrix) *Matrix {
+	out := m.Clone()
+	out.AddInPlace(o)
+	return out
+}
+
+// Sub returns m - o.
+func Sub(m, o *Matrix) *Matrix {
+	shapeCheck(m.SameShape(o), "Sub %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols)
+	out := New(m.Rows, m.Cols)
+	for i := range out.Data {
+		out.Data[i] = m.Data[i] - o.Data[i]
+	}
+	return out
+}
+
+// Hadamard returns the element-wise product.
+func Hadamard(m, o *Matrix) *Matrix {
+	shapeCheck(m.SameShape(o), "Hadamard %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols)
+	out := New(m.Rows, m.Cols)
+	for i := range out.Data {
+		out.Data[i] = m.Data[i] * o.Data[i]
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func Transpose(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// parallelThresholdFlops is the approximate work above which MatMul fans out
+// across cores.
+const parallelThresholdFlops = 1 << 17
+
+// MatMul returns a×b, parallelizing across rows of a when the product is
+// large enough to amortize goroutine startup.
+func MatMul(a, b *Matrix) *Matrix {
+	shapeCheck(a.Cols == b.Rows, "MatMul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	out := New(a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThresholdFlops || a.Rows < 2 {
+		matMulRange(a, b, out, 0, a.Rows)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(a, b, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// matMulRange computes rows [lo,hi) of out = a×b with an ikj loop order that
+// streams b row-wise (cache friendly).
+func matMulRange(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ai := a.Row(i)
+		oi := out.Row(i)
+		for k, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j, bv := range bk {
+				oi[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatVec returns a×x for a column vector x given as a slice.
+func MatVec(a *Matrix, x []float64) []float64 {
+	shapeCheck(a.Cols == len(x), "MatVec %dx%d × %d", a.Rows, a.Cols, len(x))
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		var acc float64
+		for j, v := range a.Row(i) {
+			acc += v * x[j]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the mean of all elements (0 for empty).
+func (m *Matrix) Mean() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.Data))
+}
+
+// MaxAbs returns the largest absolute element (0 for empty).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Norm2 returns the Frobenius norm.
+func (m *Matrix) Norm2() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// HasNaN reports whether any element is NaN or infinite.
+func (m *Matrix) HasNaN() bool {
+	for _, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// Glorot fills the matrix with Glorot/Xavier-uniform values using rng.
+func (m *Matrix) Glorot(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// RandN fills the matrix with N(0, std) values using rng.
+func (m *Matrix) RandN(rng *rand.Rand, std float64) {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// String renders small matrices for diagnostics.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
