@@ -12,7 +12,13 @@
 package paragraph_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
@@ -20,11 +26,13 @@ import (
 
 	"paragraph/internal/apps"
 	"paragraph/internal/cparse"
+	"paragraph/internal/dataset"
 	"paragraph/internal/experiments"
 	"paragraph/internal/gnn"
 	"paragraph/internal/hw"
 	"paragraph/internal/nn"
 	"paragraph/internal/paragraph"
+	"paragraph/internal/serve"
 	"paragraph/internal/sim"
 	"paragraph/internal/tensor"
 	"paragraph/internal/variants"
@@ -380,6 +388,114 @@ func BenchmarkAblationWeightPath(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- serving benchmarks (internal/serve) ---
+
+// benchServePrep carries plausible training scalers without a training run.
+func benchServePrep() *dataset.Prepared {
+	return &dataset.Prepared{
+		TargetScaler: dataset.Scaler{Min: math.Log(10), Max: math.Log(1e6)},
+		TeamScaler:   dataset.Scaler{Min: 0, Max: 256},
+		ThreadScaler: dataset.Scaler{Min: 1, Max: 256},
+		WScale:       10,
+	}
+}
+
+// benchServer builds an advisor service over a real (untrained) GNN for the
+// V100 profile — the full serving stack minus model fitting.
+func benchServer(b *testing.B) *serve.Server {
+	b.Helper()
+	model := gnn.NewModel(gnn.Config{Seed: 1, Hidden: 12, Layers: 2,
+		Relations: int(paragraph.NumEdgeTypes)})
+	s, err := serve.NewServer([]serve.Backend{
+		{Machine: hw.V100(), Model: model, Prep: benchServePrep()},
+	}, serve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	return s
+}
+
+func benchAdvise(b *testing.B, s *serve.Server, n float64) *httptest.ResponseRecorder {
+	b.Helper()
+	body, err := json.Marshal(serve.AdviseRequest{
+		Kernel:   "matmul",
+		Machine:  "NVIDIA V100 (GPU)",
+		Bindings: map[string]float64{"n": n},
+		Space:    &serve.SpaceSpec{GPUTeams: []int{64, 128}, GPUThreads: []int{128}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/advise", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("advise: %d %s", rec.Code, rec.Body.String())
+	}
+	return rec
+}
+
+// BenchmarkServeAdviseCold measures a full advise request whose bindings
+// never repeat: every iteration pays parse→build→encode→predict for the
+// whole variant grid (the serial-CLI cost, now under the service).
+func BenchmarkServeAdviseCold(b *testing.B) {
+	s := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchAdvise(b, s, float64(64+i))
+	}
+}
+
+// BenchmarkServeAdviseCached measures the same request answered from the
+// content-addressed response cache — the steady-state cost of repeated
+// identical traffic.
+func BenchmarkServeAdviseCached(b *testing.B) {
+	s := benchServer(b)
+	benchAdvise(b, s, 256) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := benchAdvise(b, s, 256)
+		if i == 0 {
+			var resp serve.AdviseResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || !resp.Cached {
+				b.Fatalf("warm request not cached: %s", rec.Body.String())
+			}
+		}
+	}
+}
+
+// BenchmarkPredictBatch compares the batched forward path against
+// per-sample prediction at several batch sizes; ns/sample is the number the
+// micro-batching queue banks on.
+func BenchmarkPredictBatch(b *testing.B) {
+	m := gnn.NewModel(gnn.Config{Seed: 1, Relations: int(paragraph.NumEdgeTypes)})
+	s := benchSample(b)
+	for _, size := range []int{1, 8, 32} {
+		batch := make([]*gnn.Sample, size)
+		for i := range batch {
+			clone := *s
+			clone.Feats = [2]float64{float64(i) / float64(size), 0.5}
+			batch[i] = &clone
+		}
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = m.PredictBatch(batch)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/sample")
+		})
+	}
+	b.Run("unbatched-32", func(b *testing.B) {
+		clone := *s
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 32; j++ {
+				_ = m.Predict(&clone)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*32), "ns/sample")
+	})
 }
 
 // BenchmarkMatMulParallel measures the parallel dense kernel that dominates

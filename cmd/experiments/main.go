@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -18,14 +19,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(w)
 	scaleName := fs.String("scale", "small", "scale: tiny, small, or full")
 	table := fs.Int("table", 0, "regenerate one table (1-4)")
 	figure := fs.Int("figure", 0, "regenerate one figure (4-9)")
@@ -46,7 +48,6 @@ func run(args []string) error {
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
 	r := experiments.NewRunner(scale)
-	w := os.Stdout
 
 	if *all || (*table == 0 && *figure == 0) {
 		fmt.Fprintf(w, "== ParaGraph experiment suite (scale %s) ==\n\n", scale.Name)

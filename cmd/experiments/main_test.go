@@ -1,0 +1,52 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scale", "huge"},
+		{"-table", "7"},
+		{"-figure", "1"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args, io.Discard); err == nil {
+				t.Errorf("run(%v) accepted", args)
+			}
+		})
+	}
+}
+
+// TestRunTable1 renders the training-free artifact through the CLI path.
+func TestRunTable1(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Application", "Matrix-Matrix Multiplication", "Total"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunTable2 exercises one simulated-collection artifact end to end at
+// tiny scale (no model training involved).
+func TestRunTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset collection in -short mode")
+	}
+	var out strings.Builder
+	if err := run([]string{"-scale", "tiny", "-table", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "V100") {
+		t.Errorf("Table 2 output missing platforms:\n%s", out.String())
+	}
+}

@@ -1,0 +1,146 @@
+// Command serve runs the ParaGraph advisor as a long-running HTTP/JSON
+// service: it trains one cost model per requested platform at startup, then
+// answers kernel-advice requests from the shared models — batched, cached
+// and bounded (internal/serve).
+//
+// Usage:
+//
+//	serve [-addr :8080] [-scale tiny|small|full]
+//	      [-platforms "IBM POWER9 (CPU),NVIDIA V100 (GPU)"]
+//	      [-epochs N] [-points N]
+//
+// Endpoints:
+//
+//	POST /v1/advise   rank variant grid for a kernel on one machine
+//	POST /v1/predict  predict one variant's runtime
+//	GET  /v1/healthz  liveness and served machines
+//	GET  /v1/stats    cache/batcher/pool counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"paragraph/internal/experiments"
+	"paragraph/internal/hw"
+	"paragraph/internal/paragraph"
+	"paragraph/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	srv, addr, err := buildServer(args, w)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serving on http://%s\n", ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}
+
+// buildServer parses flags, trains the per-platform models and assembles
+// the service; the caller decides how to listen (main serves TCP, tests
+// mount the handler directly).
+func buildServer(args []string, w io.Writer) (*serve.Server, string, error) {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(w)
+	addr := fs.String("addr", ":8080", "listen address")
+	scaleName := fs.String("scale", "tiny", "training scale: tiny, small, or full")
+	platforms := fs.String("platforms", allPlatformNames(), "comma-separated machine names to serve")
+	epochs := fs.Int("epochs", 0, "override training epochs (0 = scale default)")
+	points := fs.Int("points", 0, "override dataset points per platform (0 = scale default)")
+	adviseCache := fs.Int("advise-cache", 0, "advise/prediction cache entries (0 = default)")
+	encodeCache := fs.Int("encode-cache", 0, "encoded-graph cache entries (0 = default)")
+	maxBatch := fs.Int("batch", 0, "max samples per batched forward pass (0 = default)")
+	batchWait := fs.Duration("batch-wait", 0, "micro-batching window (0 = default)")
+	poolSize := fs.Int("pool", 0, "max evaluations in flight (0 = GOMAXPROCS)")
+	gridWorkers := fs.Int("grid-workers", 0, "per-advise grid fan-out (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+
+	var scale experiments.Scale
+	switch strings.ToLower(*scaleName) {
+	case "tiny":
+		scale = experiments.Tiny()
+	case "small":
+		scale = experiments.Small()
+	case "full":
+		scale = experiments.Full()
+	default:
+		return nil, "", fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	if *epochs > 0 {
+		scale.Epochs = *epochs
+	}
+	if *points > 0 {
+		scale.MaxPerPlatform = *points
+	}
+
+	var machines []hw.Machine
+	for _, name := range strings.Split(*platforms, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, err := hw.ByName(name)
+		if err != nil {
+			return nil, "", err
+		}
+		machines = append(machines, m)
+	}
+	if len(machines) == 0 {
+		return nil, "", fmt.Errorf("no platforms requested")
+	}
+
+	runner := experiments.NewRunner(scale)
+	var backends []serve.Backend
+	for _, m := range machines {
+		start := time.Now()
+		fmt.Fprintf(w, "training %s model (scale %s, %d epochs)...\n", m.Name, scale.Name, scale.Epochs)
+		tr, err := runner.Trained(m, paragraph.LevelParaGraph)
+		if err != nil {
+			return nil, "", fmt.Errorf("training %s: %w", m.Name, err)
+		}
+		fmt.Fprintf(w, "  %s ready in %.1fs (val RMSE %.4f scaled)\n",
+			m.Name, time.Since(start).Seconds(), tr.Hist.FinalValRMSE())
+		backends = append(backends, serve.Backend{Machine: m, Model: tr.Model, Prep: tr.Prep})
+	}
+
+	srv, err := serve.NewServer(backends, serve.Options{
+		AdviseCacheSize: *adviseCache,
+		EncodeCacheSize: *encodeCache,
+		MaxBatch:        *maxBatch,
+		BatchWait:       *batchWait,
+		PoolSize:        *poolSize,
+		GridWorkers:     *gridWorkers,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, *addr, nil
+}
+
+func allPlatformNames() string {
+	var names []string
+	for _, m := range hw.All() {
+		names = append(names, m.Name)
+	}
+	return strings.Join(names, ",")
+}

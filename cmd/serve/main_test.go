@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"paragraph/internal/serve"
+)
+
+// startService trains micro models for a CPU and a GPU profile and serves
+// them on a real loopback listener, as main's run path does.
+func startService(t *testing.T) string {
+	t.Helper()
+	srv, _, err := buildServer([]string{
+		"-scale", "tiny",
+		"-epochs", "1",
+		"-points", "24",
+		"-platforms", "IBM POWER9 (CPU),NVIDIA V100 (GPU)",
+		"-addr", "127.0.0.1:0",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+func post(t *testing.T, url string, body any, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d %s", url, resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+}
+
+// TestServeEndToEnd is the acceptance check: the trained service answers
+// /v1/advise for a CPU and a GPU profile over real HTTP, and a repeated
+// identical request is a cache hit visible in /v1/stats.
+func TestServeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models in -short mode")
+	}
+	base := startService(t)
+
+	for _, machine := range []string{"IBM POWER9 (CPU)", "NVIDIA V100 (GPU)"} {
+		req := serve.AdviseRequest{
+			Kernel:   "matmul",
+			Machine:  machine,
+			Bindings: map[string]float64{"n": 256},
+			Space: &serve.SpaceSpec{
+				CPUThreads: []int{2, 8},
+				GPUTeams:   []int{64, 128},
+				GPUThreads: []int{128},
+			},
+		}
+		var cold serve.AdviseResponse
+		post(t, base+"/v1/advise", req, &cold)
+		if cold.Cached || len(cold.Recommendations) == 0 {
+			t.Fatalf("%s: cold response = %+v", machine, cold)
+		}
+		for _, r := range cold.Recommendations {
+			if r.PredictedUS <= 0 {
+				t.Errorf("%s: non-positive prediction %+v", machine, r)
+			}
+		}
+		var warm serve.AdviseResponse
+		post(t, base+"/v1/advise", req, &warm)
+		if !warm.Cached {
+			t.Errorf("%s: repeat request not cached", machine)
+		}
+		for i := range cold.Recommendations {
+			if warm.Recommendations[i] != cold.Recommendations[i] {
+				t.Errorf("%s: cached ranking differs at %d", machine, i)
+			}
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.AdviseCacheHits < 2 {
+		t.Errorf("advise cache hits = %d, want >= 2", st.AdviseCacheHits)
+	}
+	if st.Requests.Advise != 4 {
+		t.Errorf("advise requests = %d, want 4", st.Requests.Advise)
+	}
+	if len(st.Machines) != 2 {
+		t.Errorf("machines = %v", st.Machines)
+	}
+
+	hresp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("healthz status = %q", h.Status)
+	}
+}
+
+func TestBuildServerFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scale", "huge"},
+		{"-platforms", "Cray-1"},
+		{"-platforms", ""},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if _, _, err := buildServer(args, io.Discard); err == nil {
+				t.Errorf("buildServer(%v) accepted", args)
+			}
+		})
+	}
+}
+
+func TestBuildServerDefaultsAllPlatforms(t *testing.T) {
+	names := allPlatformNames()
+	if got := len(strings.Split(names, ",")); got != 4 {
+		t.Errorf("default platforms = %q (%d entries)", names, got)
+	}
+	for _, frag := range []string{"POWER9", "V100", "EPYC", "MI50"} {
+		if !strings.Contains(names, frag) {
+			t.Errorf("default platforms missing %s", frag)
+		}
+	}
+}

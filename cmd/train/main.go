@@ -4,12 +4,13 @@
 // Usage:
 //
 //	train [-scale tiny|small|full] [-platform "NVIDIA V100 (GPU)"]
-//	      [-level raw|aug|para] [-compoff]
+//	      [-level raw|aug|para] [-compoff] [-epochs N] [-points N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -21,18 +22,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("train", flag.ContinueOnError)
+	fs.SetOutput(w)
 	scaleName := fs.String("scale", "small", "scale: tiny, small, or full")
 	platform := fs.String("platform", "NVIDIA V100 (GPU)", "platform name")
 	levelName := fs.String("level", "para", "representation: raw, aug, or para")
 	withCompoff := fs.Bool("compoff", false, "also train the COMPOFF baseline (GPU platforms)")
+	epochs := fs.Int("epochs", 0, "override training epochs (0 = scale default)")
+	points := fs.Int("points", 0, "override dataset points per platform (0 = scale default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,6 +51,12 @@ func run(args []string) error {
 		scale = experiments.Full()
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	if *epochs > 0 {
+		scale.Epochs = *epochs
+	}
+	if *points > 0 {
+		scale.MaxPerPlatform = *points
 	}
 	var level paragraph.Level
 	switch strings.ToLower(*levelName) {
@@ -65,17 +75,17 @@ func run(args []string) error {
 	}
 
 	runner := experiments.NewRunner(scale)
-	fmt.Printf("training %s model on %s at scale %q\n", level, m.Name, scale.Name)
+	fmt.Fprintf(w, "training %s model on %s at scale %q\n", level, m.Name, scale.Name)
 	tr, err := runner.Trained(m, level)
 	if err != nil {
 		return err
 	}
 	for epoch, v := range tr.Hist.ValRMSE {
-		fmt.Printf("epoch %3d: train loss %.5f, val RMSE (scaled) %.5f\n",
+		fmt.Fprintf(w, "epoch %3d: train loss %.5f, val RMSE (scaled) %.5f\n",
 			epoch+1, tr.Hist.TrainLoss[epoch], v)
 	}
 	actual, pred := tr.ValActualPredMS()
-	fmt.Printf("\nvalidation (n=%d): RMSE %.4g ms, Norm-RMSE %.3e, Pearson(log) %.4f\n",
+	fmt.Fprintf(w, "\nvalidation (n=%d): RMSE %.4g ms, Norm-RMSE %.3e, Pearson(log) %.4f\n",
 		len(actual), metrics.RMSE(pred, actual), metrics.NormRMSE(pred, actual),
 		logPearson(pred, actual))
 
@@ -84,7 +94,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("COMPOFF comparison: mean rel err ParaGraph %.4f vs COMPOFF %.4f (ParaGraph wins %.1f%%)\n",
+		fmt.Fprintf(w, "COMPOFF comparison: mean rel err ParaGraph %.4f vs COMPOFF %.4f (ParaGraph wins %.1f%%)\n",
 			res.ParaGraphMeanErr, res.CompoffMeanErr, 100*res.WinFraction)
 	}
 	return nil

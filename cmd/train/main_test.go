@@ -1,0 +1,64 @@
+package main
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scale", "huge"},
+		{"-platform", "Cray-1"},
+		{"-level", "mega"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			if err := run(args, io.Discard); err == nil {
+				t.Errorf("run(%v) accepted", args)
+			}
+		})
+	}
+}
+
+// TestRunTinyEndToEnd trains a micro model end to end through the CLI path
+// and checks the reported metrics are present and sane.
+func TestRunTinyEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	var out strings.Builder
+	err := run([]string{
+		"-scale", "tiny",
+		"-epochs", "1",
+		"-points", "24",
+		"-platform", "IBM POWER9 (CPU)",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"training", "epoch   1", "validation (n="} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSafeLogClamps(t *testing.T) {
+	if v := safeLog(0); math.IsInf(v, -1) || math.IsNaN(v) {
+		t.Errorf("safeLog(0) = %v", v)
+	}
+	if safeLog(math.E) != 1 {
+		t.Errorf("safeLog(e) = %v", safeLog(math.E))
+	}
+}
+
+func TestLogPearsonPerfectCorrelation(t *testing.T) {
+	pred := []float64{10, 100, 1000, 10000}
+	if r := logPearson(pred, pred); math.Abs(r-1) > 1e-12 {
+		t.Errorf("logPearson(x, x) = %v, want 1", r)
+	}
+}

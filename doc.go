@@ -5,8 +5,32 @@
 // attention network that predicts kernel runtime across CPUs and GPUs.
 //
 // The module root holds only the benchmark harness (bench_test.go), with
-// one benchmark per table and figure of the paper's evaluation. The
-// implementation lives under internal/ — see DESIGN.md for the system
-// inventory and README.md for the tour. Entry points are under cmd/
-// (paragraph, datagen, train, experiments) and examples/.
+// one benchmark per table and figure of the paper's evaluation plus
+// serving-path benchmarks. The implementation lives under internal/ — see
+// DESIGN.md for the system inventory and README.md for the tour. Entry
+// points are under cmd/ (paragraph, datagen, train, experiments, serve)
+// and examples/.
+//
+// # Serving
+//
+// Because the cost model predicts variant runtimes statically, it can run
+// as an always-on advisory service rather than a one-shot CLI. cmd/serve
+// trains one model per requested platform at startup and exposes them over
+// HTTP/JSON (internal/serve):
+//
+//	POST /v1/advise   rank a kernel's variant grid on one machine
+//	POST /v1/predict  predict one variant's runtime
+//	GET  /v1/healthz  liveness and served machines
+//	GET  /v1/stats    cache/batcher/pool counters
+//
+// A request flows through three layers. A content-addressed sharded LRU
+// cache first answers exact repeats (whole advise responses and single
+// predictions) and memoizes the parse→BuildKernel→Encode pipeline behind
+// them (keyed by hash of kernel source, level, threads and bindings). On a
+// miss, a bounded worker pool admits the evaluation and the advisor fans
+// the variant grid across goroutines (internal/advisor). Each variant's
+// prediction finally lands on a micro-batching queue that coalesces
+// concurrently-arriving samples into gnn.Model.PredictBatch forward passes.
+// Rankings are bit-identical to the serial pipeline; only throughput and
+// latency change. examples/serveclient shows the client side.
 package paragraph

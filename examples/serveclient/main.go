@@ -1,0 +1,143 @@
+// Serveclient: talk to the advisor service over HTTP/JSON — the paper's
+// static cost model as an always-on endpoint instead of a one-shot CLI.
+//
+// With no flags it is self-contained: it trains a micro model, starts the
+// service on a loopback port, then acts as a client — POSTing a kernel to
+// /v1/advise twice (cold, then cache-hit) and printing the ranked
+// recommendations plus the /v1/stats counters. Point it at an already
+// running `go run ./cmd/serve` with -url.
+//
+//	go run ./examples/serveclient
+//	go run ./examples/serveclient -url http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"paragraph/internal/experiments"
+	"paragraph/internal/hw"
+	"paragraph/internal/paragraph"
+	"paragraph/internal/serve"
+)
+
+func main() {
+	url := flag.String("url", "", "advisor service base URL (empty = start one in-process)")
+	flag.Parse()
+
+	base := *url
+	if base == "" {
+		var stop func()
+		var err error
+		base, stop, err = startLocalService()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+
+	req := serve.AdviseRequest{
+		Kernel:   "matmul",
+		Machine:  hw.V100().Name,
+		Bindings: map[string]float64{"n": 512},
+		Space: &serve.SpaceSpec{
+			GPUTeams:   []int{16, 64, 128, 256},
+			GPUThreads: []int{64, 128, 256},
+		},
+		Top: 5,
+	}
+	fmt.Printf("asking %s for the 5 best matmul variants on %s (n=512)\n\n", base, req.Machine)
+
+	for _, pass := range []string{"cold", "repeat"} {
+		resp, err := advise(base, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%s] cached=%v elapsed=%.2fms\n", pass, resp.Cached, resp.ElapsedMS)
+		for i, r := range resp.Recommendations {
+			teams := "-"
+			if r.Teams > 0 {
+				teams = fmt.Sprint(r.Teams)
+			}
+			fmt.Printf("  #%d %-18s teams=%-4s threads=%-4d predicted %8.1f µs\n",
+				i+1, r.Variant, teams, r.Threads, r.PredictedUS)
+		}
+		fmt.Println()
+	}
+
+	var st serve.Stats
+	if err := getJSON(base+"/v1/stats", &st); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("service stats: %d advise requests, %d response-cache hits, encode cache %d/%d hit/miss\n",
+		st.Requests.Advise, st.AdviseCacheHits, st.EncodeCache.Hits, st.EncodeCache.Misses)
+}
+
+// startLocalService trains a micro V100 model and serves it on a loopback
+// port, returning the base URL and a shutdown function.
+func startLocalService() (string, func(), error) {
+	scale := experiments.Tiny()
+	scale.Epochs = 2
+	scale.MaxPerPlatform = 60
+	fmt.Println("training a micro V100 cost model for the local service...")
+	tr, err := experiments.NewRunner(scale).Trained(hw.V100(), paragraph.LevelParaGraph)
+	if err != nil {
+		return "", nil, err
+	}
+	srv, err := serve.NewServer([]serve.Backend{
+		{Machine: hw.V100(), Model: tr.Model, Prep: tr.Prep},
+	}, serve.Options{})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	stop := func() {
+		hs.Close()
+		srv.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+func advise(base string, req serve.AdviseRequest) (*serve.AdviseResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/v1/advise", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("advise: %s: %s", resp.Status, e.Error)
+	}
+	var out serve.AdviseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,3 @@
+module paragraph
+
+go 1.22

@@ -8,8 +8,13 @@
 package advisor
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
 
 	"paragraph/internal/analysis"
 	"paragraph/internal/apps"
@@ -21,17 +26,35 @@ import (
 )
 
 // Predictor is the cost-model interface: a scaled-runtime regressor over
-// encoded samples. *gnn.Model satisfies it.
+// encoded samples. Advise fans its variant grid across goroutines (see
+// SetWorkers), so implementations must be safe for concurrent Predict
+// calls — or the advisor must be pinned to SetWorkers(1). *gnn.Model is
+// safe (each call builds its own forward pass over read-only weights), as
+// is the serving batcher (internal/serve), which coalesces concurrent
+// Predict calls into batches.
 type Predictor interface {
 	Predict(*gnn.Sample) float64
 }
 
+// EncodeCache memoizes the parse→BuildKernel→Encode pipeline across Advise
+// calls: Get returns a previously encoded graph for a content key, Add
+// stores one. Implementations must be safe for concurrent use; cached
+// graphs are treated as immutable (EncodeInstance copies the header before
+// applying per-advisor scaling). internal/serve provides a sharded LRU
+// implementation.
+type EncodeCache interface {
+	Get(key string) (*gnn.Graph, bool)
+	Add(key string, g *gnn.Graph)
+}
+
 // Advisor ranks kernel variants by predicted runtime on one machine.
 type Advisor struct {
-	model   Predictor
-	prep    *dataset.Prepared // training-time scalers
-	machine hw.Machine
-	level   paragraph.Level
+	model    Predictor
+	prep     *dataset.Prepared // training-time scalers
+	machine  hw.Machine
+	level    paragraph.Level
+	workers  int         // grid-evaluation goroutines; 0 = GOMAXPROCS
+	encCache EncodeCache // nil = no memoization
 }
 
 // New builds an advisor from a trained predictor and the Prepared dataset
@@ -39,6 +62,16 @@ type Advisor struct {
 func New(model Predictor, prep *dataset.Prepared, machine hw.Machine) *Advisor {
 	return &Advisor{model: model, prep: prep, machine: machine, level: paragraph.LevelParaGraph}
 }
+
+// SetWorkers bounds the goroutines Advise fans the variant grid across.
+// n <= 0 restores the default (GOMAXPROCS); n == 1 recovers the serial
+// evaluation order exactly.
+func (a *Advisor) SetWorkers(n int) { a.workers = n }
+
+// SetEncodeCache injects a cache for encoded graphs, letting repeated
+// Advise calls (and grid points sharing a source) skip the expensive
+// parse→build→encode pipeline. Pass nil to disable.
+func (a *Advisor) SetEncodeCache(c EncodeCache) { a.encCache = c }
 
 // SearchSpace is the variant/parallelism grid to rank.
 type SearchSpace struct {
@@ -67,12 +100,19 @@ type Recommendation struct {
 
 // Advise enumerates the machine-compatible variants of kernel k under
 // bindings, predicts each statically, and returns them sorted by predicted
-// runtime (fastest first).
+// runtime (fastest first). Each grid point's generate→encode→predict chain
+// is independent, so the grid is fanned out across SetWorkers goroutines;
+// results keep the serial enumeration order before the stable sort, so the
+// ranking is identical to a one-worker run.
 func (a *Advisor) Advise(k apps.Kernel, bindings analysis.Env, space SearchSpace) ([]Recommendation, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
-	var recs []Recommendation
+	type pt struct {
+		kind           variants.Kind
+		teams, threads int
+	}
+	var grid []pt
 	for _, kind := range variants.Kinds() {
 		if kind.IsGPU() != a.machine.IsGPU {
 			continue
@@ -80,41 +120,81 @@ func (a *Advisor) Advise(k apps.Kernel, bindings analysis.Env, space SearchSpace
 		if kind.IsCollapse() && !k.Collapsible {
 			continue
 		}
-		type pt struct{ teams, threads int }
-		var grid []pt
 		if kind.IsGPU() {
 			for _, g := range space.GPUTeams {
 				for _, t := range space.GPUThreads {
-					grid = append(grid, pt{g, t})
+					grid = append(grid, pt{kind, g, t})
 				}
 			}
 		} else {
 			for _, t := range space.CPUThreads {
-				grid = append(grid, pt{0, t})
+				grid = append(grid, pt{kind, 0, t})
 			}
-		}
-		for _, g := range grid {
-			src, err := variants.Generate(k, kind, g.teams, g.threads)
-			if err != nil {
-				return nil, err
-			}
-			in := variants.Instance{
-				Kernel: k, Kind: kind, Teams: g.teams, Threads: g.threads,
-				Bindings: bindings, Source: src,
-			}
-			us, err := a.PredictInstanceUS(in)
-			if err != nil {
-				return nil, err
-			}
-			recs = append(recs, Recommendation{
-				Kind: kind, Teams: g.teams, Threads: g.threads,
-				PredictedUS: us, Source: src,
-			})
 		}
 	}
-	if len(recs) == 0 {
+	if len(grid) == 0 {
 		return nil, fmt.Errorf("advisor: no %s-compatible variants for kernel %q",
 			machineClass(a.machine), k.Name)
+	}
+
+	recs := make([]Recommendation, len(grid))
+	errs := make([]error, len(grid))
+	eval := func(i int) {
+		g := grid[i]
+		src, err := variants.Generate(k, g.kind, g.teams, g.threads)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		in := variants.Instance{
+			Kernel: k, Kind: g.kind, Teams: g.teams, Threads: g.threads,
+			Bindings: bindings, Source: src,
+		}
+		us, err := a.PredictInstanceUS(in)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		recs[i] = Recommendation{
+			Kind: g.kind, Teams: g.teams, Threads: g.threads,
+			PredictedUS: us, Source: src,
+		}
+	}
+
+	workers := a.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(grid) {
+		workers = len(grid)
+	}
+	if workers <= 1 {
+		for i := range grid {
+			eval(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					eval(i)
+				}
+			}()
+		}
+		for i := range grid {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("advisor: variant %s g%d t%d: %w",
+				grid[i].kind, grid[i].teams, grid[i].threads, err)
+		}
 	}
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].PredictedUS < recs[j].PredictedUS })
 	return recs, nil
@@ -139,30 +219,81 @@ func (a *Advisor) PredictInstanceUS(in variants.Instance) (float64, error) {
 	return a.prep.DescaleUS(a.model.Predict(s)), nil
 }
 
-// EncodeInstance builds the model-ready sample for an unseen instance.
+// EncodeInstance builds the model-ready sample for an unseen instance,
+// consulting the encode cache (when injected) before running the
+// parse→BuildKernel→Encode pipeline.
 func (a *Advisor) EncodeInstance(in variants.Instance) (*gnn.Sample, error) {
-	// Thread-count division matches dataset.Prepare (see the note there).
-	g, err := paragraph.BuildKernel(in.Source, paragraph.Options{
-		Level:    a.level,
-		Threads:  in.Threads,
-		Bindings: in.Bindings,
-	})
-	if err != nil {
-		return nil, err
+	var key string
+	var eg *gnn.Graph
+	if a.encCache != nil {
+		key = EncodeKey(in.Source, a.level, in.Threads, in.Bindings)
+		if g, ok := a.encCache.Get(key); ok {
+			eg = g
+		}
 	}
-	eg, err := gnn.Encode(g, int(paragraph.NumEdgeTypes))
-	if err != nil {
-		return nil, err
+	if eg == nil {
+		// Thread-count division matches dataset.Prepare (see the note there).
+		g, err := paragraph.BuildKernel(in.Source, paragraph.Options{
+			Level:    a.level,
+			Threads:  in.Threads,
+			Bindings: in.Bindings,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eg, err = gnn.Encode(g, int(paragraph.NumEdgeTypes))
+		if err != nil {
+			return nil, err
+		}
+		if a.encCache != nil {
+			a.encCache.Add(key, eg)
+		}
 	}
-	eg.WScale = a.prep.WScale
+	// Copy the graph header before applying this advisor's weight scaling:
+	// the cache may be shared between advisors trained with different
+	// WScale, and cached entries must stay immutable. The edge/feature
+	// slices are shared (read-only during prediction).
+	scaled := *eg
+	scaled.WScale = a.prep.WScale
 	return &gnn.Sample{
-		G: eg,
+		G: &scaled,
 		Feats: [2]float64{
 			a.prep.TeamScaler.Scale(float64(in.Teams)),
 			a.prep.ThreadScaler.Scale(float64(in.Threads)),
 		},
 		Name: in.Name(),
 	}, nil
+}
+
+// EncodeKey is the content-addressed cache key of one encode-pipeline
+// result: a hash over everything BuildKernel+Encode read — the transformed
+// source, the representation level, the weight-dividing thread count, and
+// the size bindings (serialized in sorted order so the key is stable).
+// Teams are deliberately absent: they feed the runtime-configuration
+// features, not the graph.
+func EncodeKey(source string, level paragraph.Level, threads int, bindings analysis.Env) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d\x00%d\x00%s\x00", level, threads, BindingsKey(bindings))
+	b.WriteString(source)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// BindingsKey renders size bindings deterministically (sorted name=value
+// pairs) for content-addressed cache keys. EncodeKey and the serving
+// layer's response keys share it so the two cache levels cannot drift in
+// how they canonicalize the same request.
+func BindingsKey(bindings analysis.Env) string {
+	names := make([]string, 0, len(bindings))
+	for name := range bindings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s=%g;", name, bindings[name])
+	}
+	return b.String()
 }
 
 func machineClass(m hw.Machine) string {

@@ -2,6 +2,7 @@ package advisor
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"paragraph/internal/apps"
@@ -170,6 +171,140 @@ func TestDefaultSearchSpaceNonEmpty(t *testing.T) {
 	sp := DefaultSearchSpace()
 	if len(sp.CPUThreads) == 0 || len(sp.GPUTeams) == 0 || len(sp.GPUThreads) == 0 {
 		t.Error("default search space incomplete")
+	}
+}
+
+// TestConcurrentAdviseMatchesSerial pins the service contract: fanning the
+// grid across workers must reproduce the serial ranking exactly.
+func TestConcurrentAdviseMatchesSerial(t *testing.T) {
+	k, _ := apps.ByName("matmul")
+	bindings := map[string]float64{"n": 256}
+	space := SearchSpace{GPUTeams: []int{16, 64, 128, 256}, GPUThreads: []int{64, 128, 256}}
+
+	serial := New(weightOracle{}, testPrep(), hw.V100())
+	serial.SetWorkers(1)
+	want, err := serial.Advise(k, bindings, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		conc := New(weightOracle{}, testPrep(), hw.V100())
+		conc.SetWorkers(workers)
+		got, err := conc.Advise(k, bindings, space)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d recs, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: rec %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// countingCache is a trivial EncodeCache recording traffic.
+type countingCache struct {
+	mu         sync.Mutex
+	m          map[string]*gnn.Graph
+	hits, adds int
+}
+
+func newCountingCache() *countingCache { return &countingCache{m: map[string]*gnn.Graph{}} }
+
+func (c *countingCache) Get(key string) (*gnn.Graph, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	return g, ok
+}
+
+func (c *countingCache) Add(key string, g *gnn.Graph) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = g
+	c.adds++
+}
+
+func TestEncodeCacheMemoizesAndStaysImmutable(t *testing.T) {
+	k, _ := apps.ByName("matmul")
+	bindings := map[string]float64{"n": 256}
+	space := SearchSpace{GPUTeams: []int{16, 64}, GPUThreads: []int{128}}
+	cache := newCountingCache()
+
+	a := New(weightOracle{}, testPrep(), hw.V100())
+	a.SetEncodeCache(cache)
+	a.SetWorkers(1)
+	first, err := a.Advise(k, bindings, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.adds == 0 {
+		t.Fatal("cache never populated")
+	}
+	coldAdds := cache.adds
+	second, err := a.Advise(k, bindings, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.adds != coldAdds {
+		t.Errorf("warm Advise re-encoded: adds %d → %d", coldAdds, cache.adds)
+	}
+	if cache.hits == 0 {
+		t.Error("warm Advise never hit the cache")
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("cached rec %d differs: %+v vs %+v", i, second[i], first[i])
+		}
+	}
+	// A second advisor with a different WScale sharing the cache must not
+	// see (or cause) scaled entries.
+	prep2 := testPrep()
+	prep2.WScale = 99
+	b := New(weightOracle{}, prep2, hw.V100())
+	b.SetEncodeCache(cache)
+	src, err := variants.Generate(k, variants.GPU, 16, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := variants.Instance{Kernel: k, Kind: variants.GPU, Teams: 16, Threads: 128,
+		Bindings: bindings, Source: src}
+	sb, err := b.EncodeInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.G.WScale != 99 {
+		t.Errorf("advisor b sample WScale = %v, want 99", sb.G.WScale)
+	}
+	sa, err := a.EncodeInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.G.WScale != testPrep().WScale {
+		t.Errorf("shared cache leaked WScale across advisors: got %v", sa.G.WScale)
+	}
+}
+
+func TestEncodeKeyDiscriminates(t *testing.T) {
+	base := EncodeKey("void f(){}", 2, 8, map[string]float64{"n": 64, "m": 32})
+	if base != EncodeKey("void f(){}", 2, 8, map[string]float64{"m": 32, "n": 64}) {
+		t.Error("key depends on bindings map order")
+	}
+	for name, other := range map[string]string{
+		"source":   EncodeKey("void g(){}", 2, 8, map[string]float64{"n": 64, "m": 32}),
+		"level":    EncodeKey("void f(){}", 1, 8, map[string]float64{"n": 64, "m": 32}),
+		"threads":  EncodeKey("void f(){}", 2, 4, map[string]float64{"n": 64, "m": 32}),
+		"bindings": EncodeKey("void f(){}", 2, 8, map[string]float64{"n": 64, "m": 33}),
+	} {
+		if other == base {
+			t.Errorf("key ignores %s", name)
+		}
 	}
 }
 

@@ -288,6 +288,33 @@ func TestPredictAllMatchesPredict(t *testing.T) {
 	}
 }
 
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	// The serving batcher relies on batch results being interchangeable with
+	// per-sample results; assert exact agreement (well under the 1e-9 the
+	// service contract promises).
+	m := NewModel(Config{Seed: 4, Hidden: 8, Layers: 2, Relations: int(paragraph.NumEdgeTypes)})
+	var samples []*Sample
+	for _, threads := range []int{1, 4, 16, 64} {
+		eg := encode(t, buildTestGraph(t, threads))
+		eg.WScale = 10
+		for i := 0; i < 3; i++ {
+			samples = append(samples, &Sample{G: eg, Feats: [2]float64{float64(i) / 3, 0.4}})
+		}
+	}
+	batch := m.PredictBatch(samples)
+	if len(batch) != len(samples) {
+		t.Fatalf("batch len = %d, want %d", len(batch), len(samples))
+	}
+	for i, s := range samples {
+		if single := m.Predict(s); math.Abs(single-batch[i]) > 1e-9 {
+			t.Errorf("sample %d: batch %v vs single %v", i, batch[i], single)
+		}
+	}
+	if got := m.PredictBatch(nil); len(got) != 0 {
+		t.Error("PredictBatch(nil) non-empty")
+	}
+}
+
 func TestModelSaveLoadRoundTrip(t *testing.T) {
 	eg := encode(t, buildTestGraph(t, 4))
 	s := &Sample{G: eg, Feats: [2]float64{0.3, 0.7}}

@@ -227,6 +227,24 @@ func (m *Model) Predict(s *Sample) float64 {
 	return m.Forward(f, s).Value.At(0, 0)
 }
 
+// PredictBatch returns scaled predictions for a batch of samples, sharing a
+// single inference pass across the whole batch so parameter binding and tape
+// setup are paid once instead of once per sample. Each sample's forward
+// computation is independent of its batchmates, so the results are identical
+// to calling Predict per sample. This is the fast path the serving batcher
+// (internal/serve) coalesces concurrent requests onto.
+func (m *Model) PredictBatch(samples []*Sample) []float64 {
+	out := make([]float64, len(samples))
+	if len(samples) == 0 {
+		return out
+	}
+	f := nn.NewInference()
+	for i, s := range samples {
+		out[i] = m.Forward(f, s).Value.At(0, 0)
+	}
+	return out
+}
+
 // Save writes the model weights as a checkpoint. The architecture (Config)
 // is not stored; Load must be called on a model built with the same Config.
 func (m *Model) Save(w io.Writer) error { return nn.SaveParams(w, m.params) }

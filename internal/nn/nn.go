@@ -54,9 +54,10 @@ func NewForward() *Forward {
 	return &Forward{Tape: autodiff.NewTape(), bindings: map[*Parameter]*autodiff.Var{}, train: true}
 }
 
-// NewInference returns a pass that skips gradient bookkeeping.
+// NewInference returns a pass that skips gradient bookkeeping: its tape
+// records no backward closures, so prediction allocates only values.
 func NewInference() *Forward {
-	return &Forward{Tape: autodiff.NewTape(), bindings: map[*Parameter]*autodiff.Var{}, train: false}
+	return &Forward{Tape: autodiff.NewInferenceTape(), bindings: map[*Parameter]*autodiff.Var{}, train: false}
 }
 
 // Bind returns the tape variable for a parameter, creating it on first use.

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"paragraph/internal/gnn"
+)
+
+// BatchPredictor is the batched cost-model interface the batcher drives.
+// *gnn.Model satisfies it via PredictBatch. Implementations must be safe
+// for concurrent use: batches are evaluated in parallel goroutines.
+type BatchPredictor interface {
+	PredictBatch([]*gnn.Sample) []float64
+}
+
+// Batcher coalesces concurrently-arriving Predict calls into PredictBatch
+// calls, amortizing forward-pass setup across requests. It implements
+// advisor.Predictor, so an Advisor wired to a Batcher transparently batches
+// the predictions its grid workers fan out. Predictions are identical to
+// unbatched ones (see gnn.Model.PredictBatch); only latency and throughput
+// change.
+//
+// A background collector goroutine gathers requests until either MaxBatch
+// samples are waiting or MaxWait has passed since the batch opened, then
+// hands the batch to its own evaluation goroutine — collection continues
+// while earlier batches are still in the model, so inference is not
+// serialized behind the collector. Concurrent evaluations are bounded by
+// the number of blocked callers (the server's pool and grid workers).
+type Batcher struct {
+	model    BatchPredictor
+	maxBatch int
+	maxWait  time.Duration
+
+	reqs chan batchRequest
+
+	closeOnce sync.Once
+	quit      chan struct{} // closed by Close; unblocks senders and the collector
+	done      chan struct{} // closed when the collector and all flushes finished
+	flushes   sync.WaitGroup
+
+	mu         sync.Mutex
+	batches    uint64
+	samples    uint64
+	maxSeen    int
+	sumBatched uint64 // total samples that shared a batch with at least one other
+}
+
+type batchRequest struct {
+	s   *gnn.Sample
+	out chan float64
+}
+
+// NewBatcher starts a batcher over model. maxBatch <= 0 defaults to 16;
+// maxWait <= 0 defaults to 2ms. Close releases the collector goroutine.
+func NewBatcher(model BatchPredictor, maxBatch int, maxWait time.Duration) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = 16
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Millisecond
+	}
+	b := &Batcher{
+		model:    model,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		reqs:     make(chan batchRequest),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.collect()
+	return b
+}
+
+// Predict enqueues one sample and blocks until its batch is evaluated.
+// Safe for concurrent use, including racing Close: a request that misses
+// the collector is answered by a direct (unbatched) forward pass instead
+// of panicking or hanging.
+func (b *Batcher) Predict(s *gnn.Sample) float64 {
+	out := make(chan float64, 1)
+	select {
+	case b.reqs <- batchRequest{s: s, out: out}:
+		return <-out
+	case <-b.quit:
+		return b.model.PredictBatch([]*gnn.Sample{s})[0]
+	}
+}
+
+// Close stops the collector and waits for in-flight batches to finish.
+// Predict calls that already enqueued still receive their results; later
+// calls degrade to direct evaluation. Idempotent.
+func (b *Batcher) Close() {
+	b.closeOnce.Do(func() { close(b.quit) })
+	<-b.done
+}
+
+// collect is the batching loop: block for the first request, top the batch
+// up until it is full or the window expires, then evaluate asynchronously.
+func (b *Batcher) collect() {
+	defer close(b.done)
+	defer b.flushes.Wait()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first batchRequest
+		select {
+		case first = <-b.reqs:
+		case <-b.quit:
+			return
+		}
+		batch := []batchRequest{first}
+		timer.Reset(b.maxWait)
+		timerFired := false
+	fill:
+		for len(batch) < b.maxBatch {
+			select {
+			case r := <-b.reqs:
+				batch = append(batch, r)
+			case <-timer.C:
+				timerFired = true
+				break fill
+			case <-b.quit:
+				break fill
+			}
+		}
+		if !timerFired && !timer.Stop() {
+			<-timer.C
+		}
+		b.flushes.Add(1)
+		go func(batch []batchRequest) {
+			defer b.flushes.Done()
+			b.flush(batch)
+		}(batch)
+	}
+}
+
+// flush evaluates one batch and fans results back to the waiters.
+func (b *Batcher) flush(batch []batchRequest) {
+	samples := make([]*gnn.Sample, len(batch))
+	for i, r := range batch {
+		samples[i] = r.s
+	}
+	preds := b.model.PredictBatch(samples)
+	// Count before delivering: a caller's Predict returns the moment its
+	// result lands, and Stats() observed right after must include it.
+	b.mu.Lock()
+	b.batches++
+	b.samples += uint64(len(batch))
+	if len(batch) > b.maxSeen {
+		b.maxSeen = len(batch)
+	}
+	if len(batch) > 1 {
+		b.sumBatched += uint64(len(batch))
+	}
+	b.mu.Unlock()
+	for i, r := range batch {
+		r.out <- preds[i]
+	}
+}
+
+// BatcherStats snapshots the batching counters.
+type BatcherStats struct {
+	Batches        uint64  `json:"batches"`
+	Samples        uint64  `json:"samples"`
+	MaxBatch       int     `json:"max_batch"`
+	MeanBatch      float64 `json:"mean_batch"`
+	CoalescedShare float64 `json:"coalesced_share"` // fraction of samples that shared a batch
+}
+
+// Stats returns a snapshot of the batcher counters.
+func (b *Batcher) Stats() BatcherStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BatcherStats{Batches: b.batches, Samples: b.samples, MaxBatch: b.maxSeen}
+	if b.batches > 0 {
+		st.MeanBatch = float64(b.samples) / float64(b.batches)
+	}
+	if b.samples > 0 {
+		st.CoalescedShare = float64(b.sumBatched) / float64(b.samples)
+	}
+	return st
+}

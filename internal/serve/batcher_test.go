@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"paragraph/internal/gnn"
+)
+
+// echoModel predicts each sample's first feature, optionally sleeping to
+// widen the batching window under test.
+type echoModel struct {
+	delay time.Duration
+	mu    sync.Mutex
+	calls int
+}
+
+func (m *echoModel) PredictBatch(ss []*gnn.Sample) []float64 {
+	if m.delay > 0 {
+		time.Sleep(m.delay)
+	}
+	m.mu.Lock()
+	m.calls++
+	m.mu.Unlock()
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		out[i] = s.Feats[0]
+	}
+	return out
+}
+
+func (m *echoModel) callCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.calls
+}
+
+func TestBatcherPredictRoundTrips(t *testing.T) {
+	model := &echoModel{}
+	b := NewBatcher(model, 4, time.Millisecond)
+	defer b.Close()
+	for i := 0; i < 5; i++ {
+		want := float64(i) / 10
+		if got := b.Predict(&gnn.Sample{Feats: [2]float64{want, 0}}); got != want {
+			t.Errorf("Predict = %v, want %v", got, want)
+		}
+	}
+	st := b.Stats()
+	if st.Samples != 5 {
+		t.Errorf("samples = %d, want 5", st.Samples)
+	}
+}
+
+func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
+	// With a sluggish model and many concurrent callers, requests arriving
+	// while a batch window is open must share forward passes: far fewer
+	// model calls than samples.
+	model := &echoModel{delay: 2 * time.Millisecond}
+	b := NewBatcher(model, 8, 20*time.Millisecond)
+	defer b.Close()
+
+	const n = 64
+	var wg sync.WaitGroup
+	results := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = b.Predict(&gnn.Sample{Feats: [2]float64{float64(i), 0}})
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range results {
+		if got != float64(i) {
+			t.Errorf("request %d: got %v", i, got)
+		}
+	}
+	st := b.Stats()
+	if st.Samples != n {
+		t.Fatalf("samples = %d, want %d", st.Samples, n)
+	}
+	if calls := model.callCount(); calls >= n {
+		t.Errorf("no coalescing: %d model calls for %d samples", calls, n)
+	}
+	if st.MaxBatch < 2 {
+		t.Errorf("max batch %d, expected >= 2", st.MaxBatch)
+	}
+	if st.CoalescedShare == 0 {
+		t.Error("no samples shared a batch")
+	}
+}
+
+func TestBatcherRespectsMaxBatch(t *testing.T) {
+	model := &echoModel{delay: time.Millisecond}
+	const maxBatch = 4
+	b := NewBatcher(model, maxBatch, 50*time.Millisecond)
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.Predict(&gnn.Sample{Feats: [2]float64{float64(i), 0}})
+		}(i)
+	}
+	wg.Wait()
+	if st := b.Stats(); st.MaxBatch > maxBatch {
+		t.Errorf("batch of %d exceeds cap %d", st.MaxBatch, maxBatch)
+	}
+}
+
+func TestBatcherCloseDrains(t *testing.T) {
+	model := &echoModel{delay: time.Millisecond}
+	b := NewBatcher(model, 8, 5*time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b.Predict(&gnn.Sample{Feats: [2]float64{float64(i), 0}})
+		}(i)
+	}
+	wg.Wait() // all results delivered
+	b.Close() // must not hang
+	b.Close() // idempotent
+	if st := b.Stats(); st.Samples != 8 {
+		t.Errorf("samples = %d, want 8", st.Samples)
+	}
+}
+
+func TestBatcherPredictAfterCloseDegradesGracefully(t *testing.T) {
+	// A handler racing shutdown must still get a correct answer — directly
+	// evaluated, not a panic or a hang.
+	model := &echoModel{}
+	b := NewBatcher(model, 4, time.Millisecond)
+	b.Close()
+	if got := b.Predict(&gnn.Sample{Feats: [2]float64{0.75, 0}}); got != 0.75 {
+		t.Errorf("post-Close Predict = %v, want 0.75", got)
+	}
+	if st := b.Stats(); st.Samples != 0 {
+		t.Errorf("direct evaluation counted as batched: %+v", st)
+	}
+}

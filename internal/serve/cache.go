@@ -1,0 +1,167 @@
+// Package serve turns the one-shot advisor pipeline into a long-running
+// service: an HTTP/JSON API (POST /v1/advise, POST /v1/predict, GET
+// /v1/healthz, GET /v1/stats) answered from shared trained cost models.
+// Three cooperating layers do the scaling work: a content-addressed sharded
+// LRU cache memoizes the parse→build→encode pipeline and whole advise
+// responses; a micro-batching queue coalesces concurrently-arriving samples
+// into gnn.Model.PredictBatch calls; and a bounded worker pool caps the
+// advise evaluations in flight while each evaluation fans its variant grid
+// across goroutines (internal/advisor).
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// cacheShards is the shard count of every Cache: small enough that a cache
+// of a few hundred entries still gets useful per-shard capacity, large
+// enough that concurrent request goroutines rarely contend on one mutex.
+const cacheShards = 16
+
+// Cache is a content-addressed, sharded LRU cache. Keys are content hashes
+// (see Key), so a hit is a proof the expensive computation it memoizes was
+// already done for identical inputs. Values are treated as immutable by
+// convention. All methods are safe for concurrent use.
+type Cache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache returns a cache holding at most capacity entries in total,
+// split evenly across shards (each shard holds at least one entry).
+// capacity <= 0 defaults to 1024.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	perShard := capacity / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].capacity = perShard
+		c.shards[i].ll = list.New()
+		c.shards[i].items = map[string]*list.Element{}
+	}
+	return c
+}
+
+// shardFor picks a shard by FNV-1a over the key. Keys are usually hex
+// digests, whose byte values cover only 16 of 256 codes — a naive
+// first-byte mod would leave shards empty — so rehashing spreads them
+// evenly regardless of alphabet.
+func (c *Cache) shardFor(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Add stores val under key, evicting the least recently used entry of the
+// key's shard when the shard is full. Re-adding an existing key replaces
+// its value and refreshes its recency.
+func (c *Cache) Add(key string, val any) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, val: val})
+	if s.ll.Len() > s.capacity {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+		s.evictions++
+	}
+}
+
+// Len returns the total entry count across shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats aggregates the per-shard counters.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats returns a consistent-enough snapshot of the cache counters (each
+// shard is read atomically; shards are read in sequence).
+func (c *Cache) Stats() CacheStats {
+	var st CacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += s.ll.Len()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// Key builds a content-addressed cache key: the hex SHA-256 over the parts,
+// NUL-separated so part boundaries cannot collide.
+func Key(parts ...string) string {
+	sum := sha256.Sum256([]byte(strings.Join(parts, "\x00")))
+	return hex.EncodeToString(sum[:])
+}
+
+// fmtInts renders an int slice into a key part.
+func fmtInts(vs []int) string {
+	var b strings.Builder
+	for _, v := range vs {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}

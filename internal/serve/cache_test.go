@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitMissEvict(t *testing.T) {
+	// Capacity below the shard count still gives each shard one slot.
+	c := NewCache(cacheShards)
+	if _, ok := c.Get(Key("absent")); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Add(Key("a"), 1)
+	v, ok := c.Get(Key("a"))
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// Overflow every shard: with one slot per shard, inserting many keys
+	// must evict and never grow beyond capacity.
+	for i := 0; i < 10*cacheShards; i++ {
+		c.Add(Key(fmt.Sprint("k", i)), i)
+	}
+	if got := c.Len(); got > cacheShards {
+		t.Errorf("Len = %d, capacity %d", got, cacheShards)
+	}
+	if c.Stats().Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	// Two entries per shard, three keys in one shard: a Get must refresh
+	// recency so the untouched middle key is the one evicted.
+	c2 := NewCache(2 * cacheShards)
+	shardOf := func(key string) int {
+		s := c2.shardFor(key)
+		for i := range c2.shards {
+			if s == &c2.shards[i] {
+				return i
+			}
+		}
+		return -1
+	}
+	// Find three keys landing in one shard.
+	var keys []string
+	target := -1
+	for i := 0; len(keys) < 3; i++ {
+		k := Key(fmt.Sprint("lru", i))
+		if target == -1 {
+			target = shardOf(k)
+		}
+		if shardOf(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	c2.Add(keys[0], 0)
+	c2.Add(keys[1], 1)
+	if _, ok := c2.Get(keys[0]); !ok { // refresh keys[0]
+		t.Fatal("key 0 missing")
+	}
+	c2.Add(keys[2], 2) // evicts keys[1], the least recently used
+	if _, ok := c2.Get(keys[1]); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c2.Get(keys[0]); !ok {
+		t.Error("recently used entry evicted")
+	}
+}
+
+func TestCacheReplaceExisting(t *testing.T) {
+	c := NewCache(64)
+	k := Key("dup")
+	c.Add(k, "old")
+	c.Add(k, "new")
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "new" {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+	if c.Stats().Entries != 1 {
+		t.Errorf("duplicate key grew the cache: %+v", c.Stats())
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key(fmt.Sprint("key", i%50))
+				c.Add(k, i)
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("no traffic recorded")
+	}
+}
+
+func TestCacheShardingCoversAllShards(t *testing.T) {
+	// Hex-digest keys only use 16 byte values; the shard hash must still
+	// reach every shard or capacity silently shrinks.
+	c := NewCache(16 * cacheShards)
+	seen := map[*cacheShard]bool{}
+	for i := 0; i < 4*cacheShards; i++ {
+		seen[c.shardFor(Key(fmt.Sprint("spread", i)))] = true
+	}
+	if len(seen) != cacheShards {
+		t.Errorf("keys reached %d/%d shards", len(seen), cacheShards)
+	}
+}
+
+func TestKeyIsContentAddressed(t *testing.T) {
+	if Key("a", "b") != Key("a", "b") {
+		t.Error("key not deterministic")
+	}
+	if Key("a", "b") == Key("ab") {
+		t.Error("part boundaries collide")
+	}
+	if Key("a", "b") == Key("b", "a") {
+		t.Error("key ignores part order")
+	}
+	if len(Key("x")) != 64 {
+		t.Errorf("key length %d, want 64 hex chars", len(Key("x")))
+	}
+}

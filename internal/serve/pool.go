@@ -1,0 +1,60 @@
+package serve
+
+import "sync/atomic"
+
+// Pool bounds the number of advise/predict evaluations in flight across all
+// HTTP requests: each evaluation holds one slot for its duration, so a
+// traffic burst queues at the pool instead of oversubscribing the CPU with
+// grid fan-outs (each Advise already parallelizes internally). The zero
+// Pool is not usable; call NewPool.
+type Pool struct {
+	slots chan struct{}
+
+	inFlight atomic.Int64
+	peak     atomic.Int64
+	total    atomic.Uint64
+}
+
+// NewPool returns a pool with size slots. size <= 0 defaults to 4.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = 4
+	}
+	return &Pool{slots: make(chan struct{}, size)}
+}
+
+// Run executes fn while holding one slot, blocking until a slot frees up.
+func (p *Pool) Run(fn func() error) error {
+	p.slots <- struct{}{}
+	n := p.inFlight.Add(1)
+	for {
+		old := p.peak.Load()
+		if n <= old || p.peak.CompareAndSwap(old, n) {
+			break
+		}
+	}
+	p.total.Add(1)
+	defer func() {
+		p.inFlight.Add(-1)
+		<-p.slots
+	}()
+	return fn()
+}
+
+// PoolStats snapshots the pool counters.
+type PoolStats struct {
+	Size     int    `json:"size"`
+	InFlight int64  `json:"in_flight"`
+	Peak     int64  `json:"peak"`
+	Total    uint64 `json:"total"`
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Size:     cap(p.slots),
+		InFlight: p.inFlight.Load(),
+		Peak:     p.peak.Load(),
+		Total:    p.total.Load(),
+	}
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const size = 3
+	p := NewPool(size)
+	var inFlight, peak atomic.Int64
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.Run(func() error {
+				n := inFlight.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				<-gate
+				inFlight.Add(-1)
+				return nil
+			})
+		}()
+	}
+	// Release everyone; the pool must never have admitted more than size.
+	close(gate)
+	wg.Wait()
+	if got := peak.Load(); got > size {
+		t.Errorf("observed %d concurrent runs, pool size %d", got, size)
+	}
+	st := p.Stats()
+	if st.Total != 20 {
+		t.Errorf("total = %d, want 20", st.Total)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight = %d after drain", st.InFlight)
+	}
+	if st.Peak > size || st.Peak < 1 {
+		t.Errorf("peak = %d, want in [1,%d]", st.Peak, size)
+	}
+	if st.Size != size {
+		t.Errorf("size = %d", st.Size)
+	}
+}
+
+func TestPoolPropagatesErrors(t *testing.T) {
+	p := NewPool(1)
+	want := errors.New("boom")
+	if got := p.Run(func() error { return want }); !errors.Is(got, want) {
+		t.Errorf("Run error = %v, want %v", got, want)
+	}
+	// The slot must be released after an error.
+	if err := p.Run(func() error { return nil }); err != nil {
+		t.Errorf("pool wedged after error: %v", err)
+	}
+}

@@ -1,0 +1,511 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"paragraph/internal/advisor"
+	"paragraph/internal/apps"
+	"paragraph/internal/dataset"
+	"paragraph/internal/gnn"
+	"paragraph/internal/hw"
+	"paragraph/internal/paragraph"
+	"paragraph/internal/variants"
+)
+
+// Backend is one servable platform: a machine profile plus the cost model
+// trained for it and the Prepared dataset carrying that training's scalers.
+type Backend struct {
+	Machine hw.Machine
+	Model   BatchPredictor
+	Prep    *dataset.Prepared
+}
+
+// Options tunes the service layers. Zero values pick sensible defaults.
+type Options struct {
+	AdviseCacheSize int           // whole-response + prediction cache entries (default 512)
+	EncodeCacheSize int           // encoded-graph cache entries (default 2048)
+	MaxBatch        int           // batcher: max samples per forward pass (default 16)
+	BatchWait       time.Duration // batcher: batch window (default 2ms)
+	PoolSize        int           // max advise/predict evaluations in flight (default GOMAXPROCS)
+	GridWorkers     int           // per-advise grid fan-out (default GOMAXPROCS)
+}
+
+func (o Options) withDefaults() Options {
+	if o.AdviseCacheSize <= 0 {
+		o.AdviseCacheSize = 512
+	}
+	if o.EncodeCacheSize <= 0 {
+		o.EncodeCacheSize = 2048
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = runtime.GOMAXPROCS(0)
+	}
+	if o.GridWorkers <= 0 {
+		o.GridWorkers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// backendState wires one Backend into the service: its batcher (the
+// advisor's Predictor) and the advisor built on top of it.
+type backendState struct {
+	machine hw.Machine
+	advisor *advisor.Advisor
+	batcher *Batcher
+}
+
+// Server is the advisor service. Build one with NewServer, mount Handler on
+// an http.Server, and Close it on shutdown.
+type Server struct {
+	start       time.Time
+	opts        Options
+	mux         *http.ServeMux
+	backends    map[string]*backendState
+	adviseCache *Cache // whole advise responses and single predictions
+	encodeCache *Cache // encoded graphs, shared across backends
+	pool        *Pool
+	counters    requestCounters
+}
+
+// encodeCacheAdapter exposes a *Cache as the advisor's EncodeCache.
+type encodeCacheAdapter struct{ c *Cache }
+
+func (a encodeCacheAdapter) Get(key string) (*gnn.Graph, bool) {
+	v, ok := a.c.Get(key)
+	if !ok {
+		return nil, false
+	}
+	g, ok := v.(*gnn.Graph)
+	return g, ok
+}
+
+func (a encodeCacheAdapter) Add(key string, g *gnn.Graph) { a.c.Add(key, g) }
+
+// NewServer assembles the service from trained backends.
+func NewServer(backends []Backend, opts Options) (*Server, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("serve: no backends")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		start:       time.Now(),
+		opts:        opts,
+		mux:         http.NewServeMux(),
+		backends:    map[string]*backendState{},
+		adviseCache: NewCache(opts.AdviseCacheSize),
+		encodeCache: NewCache(opts.EncodeCacheSize),
+		pool:        NewPool(opts.PoolSize),
+	}
+	for _, b := range backends {
+		if b.Model == nil || b.Prep == nil {
+			return nil, fmt.Errorf("serve: backend %q missing model or prepared dataset", b.Machine.Name)
+		}
+		if _, dup := s.backends[b.Machine.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate backend %q", b.Machine.Name)
+		}
+		batcher := NewBatcher(b.Model, opts.MaxBatch, opts.BatchWait)
+		adv := advisor.New(batcher, b.Prep, b.Machine)
+		adv.SetWorkers(opts.GridWorkers)
+		adv.SetEncodeCache(encodeCacheAdapter{s.encodeCache})
+		s.backends[b.Machine.Name] = &backendState{
+			machine: b.Machine,
+			advisor: adv,
+			batcher: batcher,
+		}
+	}
+	s.mux.HandleFunc("/v1/advise", s.handleAdvise)
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the per-backend batchers after draining in-flight batches.
+func (s *Server) Close() {
+	for _, be := range s.backends {
+		be.batcher.Close()
+	}
+}
+
+// Stats snapshots the service counters (the same payload /v1/stats serves).
+func (s *Server) Stats() Stats { return s.snapshot() }
+
+func (s *Server) machineNames() []string {
+	names := make([]string, 0, len(s.backends))
+	for name := range s.backends {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// --- request/response types ---
+
+// ParamSpec mirrors apps.Param for custom kernels.
+type ParamSpec struct {
+	Name   string `json:"name"`
+	Values []int  `json:"values"`
+}
+
+// ArraySpec mirrors apps.Array for custom kernels.
+type ArraySpec struct {
+	Name     string `json:"name"`
+	SizeExpr string `json:"size_expr"`
+}
+
+// KernelSpec is an inline kernel template for requests about code outside
+// the built-in suite. Source must contain exactly one __PRAGMA__ marker
+// line where the variant directive goes.
+type KernelSpec struct {
+	App         string      `json:"app,omitempty"`
+	Name        string      `json:"name"`
+	FuncName    string      `json:"func_name"`
+	Source      string      `json:"source"`
+	Collapsible bool        `json:"collapsible,omitempty"`
+	Params      []ParamSpec `json:"params"`
+	Arrays      []ArraySpec `json:"arrays,omitempty"`
+}
+
+func (ks *KernelSpec) kernel() apps.Kernel {
+	k := apps.Kernel{
+		App:         ks.App,
+		Name:        ks.Name,
+		FuncName:    ks.FuncName,
+		Source:      ks.Source,
+		Collapsible: ks.Collapsible,
+	}
+	if k.App == "" {
+		k.App = "custom"
+	}
+	for _, p := range ks.Params {
+		k.Params = append(k.Params, apps.Param{Name: p.Name, Values: p.Values})
+	}
+	for _, a := range ks.Arrays {
+		k.Arrays = append(k.Arrays, apps.Array{Name: a.Name, SizeExpr: a.SizeExpr})
+	}
+	return k
+}
+
+// SpaceSpec is the JSON form of advisor.SearchSpace.
+type SpaceSpec struct {
+	CPUThreads []int `json:"cpu_threads,omitempty"`
+	GPUTeams   []int `json:"gpu_teams,omitempty"`
+	GPUThreads []int `json:"gpu_threads,omitempty"`
+}
+
+func (sp *SpaceSpec) space() advisor.SearchSpace {
+	if sp == nil {
+		return advisor.DefaultSearchSpace()
+	}
+	return advisor.SearchSpace{
+		CPUThreads: sp.CPUThreads,
+		GPUTeams:   sp.GPUTeams,
+		GPUThreads: sp.GPUThreads,
+	}
+}
+
+// AdviseRequest asks for a ranked variant grid on one machine. Exactly one
+// of Kernel (a suite kernel name) or Custom must be set.
+type AdviseRequest struct {
+	Kernel        string             `json:"kernel,omitempty"`
+	Custom        *KernelSpec        `json:"custom,omitempty"`
+	Machine       string             `json:"machine"`
+	Bindings      map[string]float64 `json:"bindings,omitempty"`
+	Space         *SpaceSpec         `json:"space,omitempty"`
+	Top           int                `json:"top,omitempty"`            // 0 = all
+	IncludeSource bool               `json:"include_source,omitempty"` // return transformed kernels
+}
+
+// Recommendation is one ranked candidate in a response.
+type Recommendation struct {
+	Variant     string  `json:"variant"`
+	Teams       int     `json:"teams,omitempty"`
+	Threads     int     `json:"threads"`
+	PredictedUS float64 `json:"predicted_us"`
+	Source      string  `json:"source,omitempty"`
+}
+
+// AdviseResponse is the ranked answer, fastest first.
+type AdviseResponse struct {
+	Machine         string           `json:"machine"`
+	Kernel          string           `json:"kernel"`
+	Cached          bool             `json:"cached"`
+	ElapsedMS       float64          `json:"elapsed_ms"`
+	Recommendations []Recommendation `json:"recommendations"`
+}
+
+// PredictRequest asks for one variant's predicted runtime.
+type PredictRequest struct {
+	Kernel   string             `json:"kernel,omitempty"`
+	Custom   *KernelSpec        `json:"custom,omitempty"`
+	Machine  string             `json:"machine"`
+	Variant  string             `json:"variant"` // e.g. "gpu_collapse_mem"
+	Teams    int                `json:"teams,omitempty"`
+	Threads  int                `json:"threads"`
+	Bindings map[string]float64 `json:"bindings,omitempty"`
+}
+
+// PredictResponse is one static runtime prediction.
+type PredictResponse struct {
+	Machine     string  `json:"machine"`
+	Kernel      string  `json:"kernel"`
+	Variant     string  `json:"variant"`
+	Teams       int     `json:"teams,omitempty"`
+	Threads     int     `json:"threads"`
+	PredictedUS float64 `json:"predicted_us"`
+	Cached      bool    `json:"cached"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.counters.errors.Add(1)
+	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// resolveBackend finds the backend for a machine name.
+func (s *Server) resolveBackend(machine string) (*backendState, error) {
+	be, ok := s.backends[machine]
+	if !ok {
+		return nil, fmt.Errorf("unknown machine %q (serving: %s)",
+			machine, strings.Join(s.machineNames(), ", "))
+	}
+	return be, nil
+}
+
+// resolveKernel materializes the requested kernel template.
+func resolveKernel(name string, custom *KernelSpec) (apps.Kernel, error) {
+	switch {
+	case name != "" && custom != nil:
+		return apps.Kernel{}, fmt.Errorf("set either kernel or custom, not both")
+	case name != "":
+		k, ok := apps.ByName(name)
+		if !ok {
+			return apps.Kernel{}, fmt.Errorf("unknown kernel %q", name)
+		}
+		return k, nil
+	case custom != nil:
+		k := custom.kernel()
+		if err := k.Validate(); err != nil {
+			return apps.Kernel{}, err
+		}
+		return k, nil
+	default:
+		return apps.Kernel{}, fmt.Errorf("missing kernel")
+	}
+}
+
+// kernelKey canonically serializes everything variant generation reads from
+// a kernel template — identity, collapsibility, params and arrays (arrays
+// shape the map clauses of transfer variants) — so two custom kernels
+// differing in any of them cannot collide in the response caches.
+func kernelKey(k apps.Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\x00%s\x00%s\x00%v\x00", k.App, k.Name, k.FuncName, k.Collapsible)
+	for _, p := range k.Params {
+		fmt.Fprintf(&b, "p:%s=%v\x00", p.Name, p.Values)
+	}
+	for _, a := range k.Arrays {
+		fmt.Fprintf(&b, "a:%s=%s\x00", a.Name, a.SizeExpr)
+	}
+	b.WriteString(k.Source)
+	return b.String()
+}
+
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	s.counters.advise.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req AdviseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	be, err := s.resolveBackend(req.Machine)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	k, err := resolveKernel(req.Kernel, req.Custom)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	space := req.Space.space()
+
+	// Content-addressed response key: everything the ranking depends on.
+	// Top and IncludeSource shape only the rendering, so they stay out of
+	// the key and a hit can serve any truncation.
+	key := Key("advise", be.machine.Name, kernelKey(k), advisor.BindingsKey(req.Bindings),
+		fmtInts(space.CPUThreads), fmtInts(space.GPUTeams), fmtInts(space.GPUThreads))
+
+	startReq := time.Now()
+	var recs []advisor.Recommendation
+	cached := false
+	if v, ok := s.adviseCache.Get(key); ok {
+		recs = v.([]advisor.Recommendation)
+		cached = true
+		s.counters.adviseHits.Add(1)
+	} else {
+		err := s.pool.Run(func() error {
+			var err error
+			recs, err = be.advisor.Advise(k, req.Bindings, space)
+			return err
+		})
+		if err != nil {
+			s.fail(w, http.StatusUnprocessableEntity, "advise %s on %s: %v", k.Name, be.machine.Name, err)
+			return
+		}
+		s.adviseCache.Add(key, recs)
+	}
+
+	resp := AdviseResponse{
+		Machine:   be.machine.Name,
+		Kernel:    k.Name,
+		Cached:    cached,
+		ElapsedMS: float64(time.Since(startReq).Microseconds()) / 1000,
+	}
+	n := len(recs)
+	if req.Top > 0 && req.Top < n {
+		n = req.Top
+	}
+	for _, rec := range recs[:n] {
+		out := Recommendation{
+			Variant:     rec.Kind.String(),
+			Teams:       rec.Teams,
+			Threads:     rec.Threads,
+			PredictedUS: rec.PredictedUS,
+		}
+		if req.IncludeSource {
+			out.Source = rec.Source
+		}
+		resp.Recommendations = append(resp.Recommendations, out)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// kindByName parses a variant name ("cpu", "gpu_collapse_mem", ...).
+func kindByName(name string) (variants.Kind, error) {
+	for _, k := range variants.Kinds() {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown variant %q", name)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.counters.predict.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	be, err := s.resolveBackend(req.Machine)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	k, err := resolveKernel(req.Kernel, req.Custom)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	kind, err := kindByName(req.Variant)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if kind.IsGPU() != be.machine.IsGPU {
+		s.fail(w, http.StatusBadRequest, "variant %s incompatible with machine %s",
+			kind, be.machine.Name)
+		return
+	}
+	if req.Threads <= 0 {
+		s.fail(w, http.StatusBadRequest, "threads must be positive")
+		return
+	}
+
+	key := Key("predict", be.machine.Name, kernelKey(k), req.Variant,
+		fmt.Sprintf("g%d_t%d", req.Teams, req.Threads), advisor.BindingsKey(req.Bindings))
+	resp := PredictResponse{
+		Machine: be.machine.Name, Kernel: k.Name, Variant: req.Variant,
+		Teams: req.Teams, Threads: req.Threads,
+	}
+	if v, ok := s.adviseCache.Get(key); ok {
+		resp.PredictedUS = v.(float64)
+		resp.Cached = true
+		s.writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	err = s.pool.Run(func() error {
+		src, err := variants.Generate(k, kind, req.Teams, req.Threads)
+		if err != nil {
+			return err
+		}
+		in := variants.Instance{
+			Kernel: k, Kind: kind, Teams: req.Teams, Threads: req.Threads,
+			Bindings: req.Bindings, Source: src,
+		}
+		us, err := be.advisor.PredictInstanceUS(in)
+		if err != nil {
+			return err
+		}
+		resp.PredictedUS = us
+		return nil
+	})
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "predict %s on %s: %v", k.Name, be.machine.Name, err)
+		return
+	}
+	s.adviseCache.Add(key, resp.PredictedUS)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.counters.health.Add(1)
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"machines":       s.machineNames(),
+		"level":          paragraph.LevelParaGraph.String(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.counters.stats.Add(1)
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.snapshot())
+}

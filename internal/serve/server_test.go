@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"paragraph/internal/dataset"
+	"paragraph/internal/gnn"
+	"paragraph/internal/hw"
+)
+
+// oracleModel is a deterministic stand-in for a trained GNN: it predicts
+// from the graph's total log-weight and the scaled thread feature, so
+// rankings are stable without training.
+type oracleModel struct{}
+
+func (oracleModel) PredictBatch(ss []*gnn.Sample) []float64 {
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		var total float64
+		for _, rel := range s.G.Rels {
+			for _, w := range rel.LogW {
+				total += w
+			}
+		}
+		out[i] = total/1e4 - 0.1*s.Feats[1]
+	}
+	return out
+}
+
+func testPrep() *dataset.Prepared {
+	return &dataset.Prepared{
+		TargetScaler: dataset.Scaler{Min: math.Log(10), Max: math.Log(1e6)},
+		TeamScaler:   dataset.Scaler{Min: 0, Max: 256},
+		ThreadScaler: dataset.Scaler{Min: 1, Max: 256},
+		WScale:       10,
+	}
+}
+
+// newTestServer serves a CPU and a GPU profile from oracle models.
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer([]Backend{
+		{Machine: hw.Power9(), Model: oracleModel{}, Prep: testPrep()},
+		{Machine: hw.V100(), Model: oracleModel{}, Prep: testPrep()},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// do posts (or gets) one request against the handler and decodes the reply.
+func do(t *testing.T, s *Server, method, path string, body any, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("decoding %s response: %v\n%s", path, err, rec.Body.String())
+		}
+	}
+	return rec
+}
+
+func adviseReq(machine string) AdviseRequest {
+	return AdviseRequest{
+		Kernel:   "matmul",
+		Machine:  machine,
+		Bindings: map[string]float64{"n": 256},
+		Space: &SpaceSpec{
+			CPUThreads: []int{2, 8},
+			GPUTeams:   []int{64, 128},
+			GPUThreads: []int{128},
+		},
+	}
+}
+
+func TestAdviseColdThenCached(t *testing.T) {
+	s := newTestServer(t)
+
+	var cold AdviseResponse
+	if rec := do(t, s, http.MethodPost, "/v1/advise", adviseReq("NVIDIA V100 (GPU)"), &cold); rec.Code != http.StatusOK {
+		t.Fatalf("cold advise: %d %s", rec.Code, rec.Body.String())
+	}
+	if cold.Cached {
+		t.Error("first request claims cached")
+	}
+	if len(cold.Recommendations) != 8 { // 4 GPU kinds × 2 teams × 1 threads
+		t.Fatalf("recommendations = %d, want 8", len(cold.Recommendations))
+	}
+	for i := 1; i < len(cold.Recommendations); i++ {
+		if cold.Recommendations[i-1].PredictedUS > cold.Recommendations[i].PredictedUS {
+			t.Error("recommendations not sorted fastest-first")
+		}
+	}
+
+	var warm AdviseResponse
+	do(t, s, http.MethodPost, "/v1/advise", adviseReq("NVIDIA V100 (GPU)"), &warm)
+	if !warm.Cached {
+		t.Error("identical repeat request not served from cache")
+	}
+	if len(warm.Recommendations) != len(cold.Recommendations) {
+		t.Fatal("cached ranking differs in length")
+	}
+	for i := range cold.Recommendations {
+		if warm.Recommendations[i] != cold.Recommendations[i] {
+			t.Errorf("cached rec %d differs: %+v vs %+v",
+				i, warm.Recommendations[i], cold.Recommendations[i])
+		}
+	}
+
+	// The hit must be visible in /v1/stats.
+	var st Stats
+	do(t, s, http.MethodGet, "/v1/stats", nil, &st)
+	if st.AdviseCacheHits == 0 {
+		t.Error("stats report zero advise cache hits")
+	}
+	if st.AdviseCache.Hits == 0 {
+		t.Error("response cache recorded no hits")
+	}
+	if st.Requests.Advise != 2 {
+		t.Errorf("advise requests = %d, want 2", st.Requests.Advise)
+	}
+	if st.EncodeCache.Misses == 0 {
+		t.Error("encode cache saw no traffic")
+	}
+}
+
+func TestAdviseCPUAndGPUProfiles(t *testing.T) {
+	s := newTestServer(t)
+	var cpu, gpu AdviseResponse
+	if rec := do(t, s, http.MethodPost, "/v1/advise", adviseReq("IBM POWER9 (CPU)"), &cpu); rec.Code != http.StatusOK {
+		t.Fatalf("CPU advise: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(t, s, http.MethodPost, "/v1/advise", adviseReq("NVIDIA V100 (GPU)"), &gpu); rec.Code != http.StatusOK {
+		t.Fatalf("GPU advise: %d %s", rec.Code, rec.Body.String())
+	}
+	// matmul is collapsible: CPU = {cpu, cpu_collapse} × 2 threads.
+	if len(cpu.Recommendations) != 4 {
+		t.Errorf("CPU recommendations = %d, want 4", len(cpu.Recommendations))
+	}
+	for _, r := range cpu.Recommendations {
+		if r.Teams != 0 {
+			t.Errorf("CPU recommendation carries teams: %+v", r)
+		}
+	}
+	for _, r := range gpu.Recommendations {
+		if r.Teams == 0 {
+			t.Errorf("GPU recommendation missing teams: %+v", r)
+		}
+	}
+}
+
+func TestAdviseTopAndSource(t *testing.T) {
+	s := newTestServer(t)
+	req := adviseReq("NVIDIA V100 (GPU)")
+	req.Top = 1
+	req.IncludeSource = true
+	var resp AdviseResponse
+	do(t, s, http.MethodPost, "/v1/advise", req, &resp)
+	if len(resp.Recommendations) != 1 {
+		t.Fatalf("top=1 returned %d recommendations", len(resp.Recommendations))
+	}
+	if resp.Recommendations[0].Source == "" {
+		t.Error("include_source returned empty source")
+	}
+	// A full request after the truncated one still sees the cached ranking.
+	full := adviseReq("NVIDIA V100 (GPU)")
+	var resp2 AdviseResponse
+	do(t, s, http.MethodPost, "/v1/advise", full, &resp2)
+	if !resp2.Cached {
+		t.Error("top and include_source leaked into the cache key")
+	}
+	if len(resp2.Recommendations) != 8 {
+		t.Errorf("full request got %d recommendations", len(resp2.Recommendations))
+	}
+	if resp2.Recommendations[0].Source != "" {
+		t.Error("source returned without include_source")
+	}
+}
+
+func TestAdviseCustomKernel(t *testing.T) {
+	s := newTestServer(t)
+	req := AdviseRequest{
+		Custom: &KernelSpec{
+			Name:     "scale",
+			FuncName: "scale",
+			Source: `
+void scale(double *a, int n) {
+__PRAGMA__
+    for (int i = 0; i < n; i++) {
+        a[i] = a[i] * 2.0;
+    }
+}
+`,
+			Params: []ParamSpec{{Name: "n", Values: []int{1024}}},
+		},
+		Machine:  "NVIDIA V100 (GPU)",
+		Bindings: map[string]float64{"n": 1024},
+		Space:    &SpaceSpec{GPUTeams: []int{64}, GPUThreads: []int{128}},
+	}
+	var resp AdviseResponse
+	if rec := do(t, s, http.MethodPost, "/v1/advise", req, &resp); rec.Code != http.StatusOK {
+		t.Fatalf("custom advise: %d %s", rec.Code, rec.Body.String())
+	}
+	// Non-collapsible custom kernel: gpu + gpu_mem.
+	if len(resp.Recommendations) != 2 {
+		t.Errorf("recommendations = %d, want 2", len(resp.Recommendations))
+	}
+	if resp.Kernel != "scale" {
+		t.Errorf("kernel = %q", resp.Kernel)
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	req := PredictRequest{
+		Kernel: "matmul", Machine: "NVIDIA V100 (GPU)",
+		Variant: "gpu_collapse", Teams: 64, Threads: 128,
+		Bindings: map[string]float64{"n": 256},
+	}
+	var cold PredictResponse
+	if rec := do(t, s, http.MethodPost, "/v1/predict", req, &cold); rec.Code != http.StatusOK {
+		t.Fatalf("predict: %d %s", rec.Code, rec.Body.String())
+	}
+	if cold.PredictedUS <= 0 || cold.Cached {
+		t.Errorf("cold predict = %+v", cold)
+	}
+	var warm PredictResponse
+	do(t, s, http.MethodPost, "/v1/predict", req, &warm)
+	if !warm.Cached || warm.PredictedUS != cold.PredictedUS {
+		t.Errorf("warm predict = %+v, cold %v", warm, cold.PredictedUS)
+	}
+
+	// The predicted value must agree with the advise ranking's entry.
+	areq := adviseReq("NVIDIA V100 (GPU)")
+	var advise AdviseResponse
+	do(t, s, http.MethodPost, "/v1/advise", areq, &advise)
+	found := false
+	for _, r := range advise.Recommendations {
+		if r.Variant == "gpu_collapse" && r.Teams == 64 && r.Threads == 128 {
+			found = true
+			if math.Abs(r.PredictedUS-cold.PredictedUS) > 1e-9 {
+				t.Errorf("advise %v vs predict %v for same instance", r.PredictedUS, cold.PredictedUS)
+			}
+		}
+	}
+	if !found {
+		t.Error("instance absent from advise grid")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t)
+	var h struct {
+		Status   string   `json:"status"`
+		Machines []string `json:"machines"`
+	}
+	if rec := do(t, s, http.MethodGet, "/v1/healthz", nil, &h); rec.Code != http.StatusOK {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+	if h.Status != "ok" || len(h.Machines) != 2 {
+		t.Errorf("healthz = %+v", h)
+	}
+}
+
+func TestRequestErrors(t *testing.T) {
+	s := newTestServer(t)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		code   int
+	}{
+		{"advise GET", http.MethodGet, "/v1/advise", nil, http.StatusMethodNotAllowed},
+		{"stats POST", http.MethodPost, "/v1/stats", nil, http.StatusMethodNotAllowed},
+		{"unknown machine", http.MethodPost, "/v1/advise",
+			AdviseRequest{Kernel: "matmul", Machine: "TPU"}, http.StatusNotFound},
+		{"unknown kernel", http.MethodPost, "/v1/advise",
+			AdviseRequest{Kernel: "nope", Machine: "NVIDIA V100 (GPU)"}, http.StatusBadRequest},
+		{"kernel and custom", http.MethodPost, "/v1/advise",
+			AdviseRequest{Kernel: "matmul", Custom: &KernelSpec{}, Machine: "NVIDIA V100 (GPU)"},
+			http.StatusBadRequest},
+		{"missing kernel", http.MethodPost, "/v1/advise",
+			AdviseRequest{Machine: "NVIDIA V100 (GPU)"}, http.StatusBadRequest},
+		{"unknown variant", http.MethodPost, "/v1/predict",
+			PredictRequest{Kernel: "matmul", Machine: "NVIDIA V100 (GPU)", Variant: "simd", Threads: 8},
+			http.StatusBadRequest},
+		{"variant/machine mismatch", http.MethodPost, "/v1/predict",
+			PredictRequest{Kernel: "matmul", Machine: "IBM POWER9 (CPU)", Variant: "gpu", Teams: 64, Threads: 128},
+			http.StatusBadRequest},
+		{"non-positive threads", http.MethodPost, "/v1/predict",
+			PredictRequest{Kernel: "matmul", Machine: "NVIDIA V100 (GPU)", Variant: "gpu", Teams: 64},
+			http.StatusBadRequest},
+		{"empty grid", http.MethodPost, "/v1/advise",
+			AdviseRequest{Kernel: "matmul", Machine: "NVIDIA V100 (GPU)",
+				Space: &SpaceSpec{CPUThreads: []int{4}}}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, s, tc.method, tc.path, tc.body, nil)
+			if rec.Code != tc.code {
+				t.Errorf("%s %s = %d, want %d (%s)", tc.method, tc.path, rec.Code, tc.code, rec.Body.String())
+			}
+			var e errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Errorf("error body not JSON: %s", rec.Body.String())
+			}
+		})
+	}
+	var st Stats
+	do(t, s, http.MethodGet, "/v1/stats", nil, &st)
+	if st.Requests.Errors == 0 {
+		t.Error("errors not counted")
+	}
+}
+
+func TestConcurrentAdviseTraffic(t *testing.T) {
+	// A burst of concurrent requests across both profiles must all succeed,
+	// stay within the pool bound, and exercise the batcher.
+	s := newTestServer(t)
+	machines := []string{"IBM POWER9 (CPU)", "NVIDIA V100 (GPU)"}
+	kernels := []string{"matmul", "transpose", "matvec"}
+	var wg sync.WaitGroup
+	errc := make(chan string, 64)
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := adviseReq(machines[i%2])
+			req.Kernel = kernels[i%3]
+			if req.Kernel == "matvec" {
+				req.Bindings = map[string]float64{"n": 512, "m": 256}
+			}
+			if req.Kernel == "transpose" {
+				req.Bindings = map[string]float64{"n": 512, "m": 512}
+			}
+			var resp AdviseResponse
+			rec := do(t, s, http.MethodPost, "/v1/advise", req, &resp)
+			if rec.Code != http.StatusOK {
+				errc <- rec.Body.String()
+				return
+			}
+			if len(resp.Recommendations) == 0 {
+				errc <- "empty recommendations"
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for e := range errc {
+		t.Error(e)
+	}
+	st := s.Stats()
+	if st.Pool.Peak > int64(st.Pool.Size) {
+		t.Errorf("pool peak %d exceeds size %d", st.Pool.Peak, st.Pool.Size)
+	}
+	var batched uint64
+	for _, b := range st.Batchers {
+		batched += b.Samples
+	}
+	if batched == 0 {
+		t.Error("no samples flowed through the batchers")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, Options{}); err == nil {
+		t.Error("empty backend list accepted")
+	}
+	if _, err := NewServer([]Backend{{Machine: hw.V100()}}, Options{}); err == nil {
+		t.Error("backend without model accepted")
+	}
+	b := Backend{Machine: hw.V100(), Model: oracleModel{}, Prep: testPrep()}
+	if _, err := NewServer([]Backend{b, b}, Options{}); err == nil {
+		t.Error("duplicate backend accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// requestCounters tracks per-endpoint traffic with atomic counters.
+type requestCounters struct {
+	advise     atomic.Uint64
+	predict    atomic.Uint64
+	health     atomic.Uint64
+	stats      atomic.Uint64
+	errors     atomic.Uint64
+	adviseHits atomic.Uint64 // advise responses answered from cache
+}
+
+// Stats is the /v1/stats payload: a full snapshot of the service's caches,
+// batching, pooling and traffic counters.
+type Stats struct {
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Machines      []string `json:"machines"`
+
+	Requests struct {
+		Advise  uint64 `json:"advise"`
+		Predict uint64 `json:"predict"`
+		Healthz uint64 `json:"healthz"`
+		Stats   uint64 `json:"stats"`
+		Errors  uint64 `json:"errors"`
+	} `json:"requests"`
+
+	AdviseCacheHits uint64     `json:"advise_cache_hits"`
+	AdviseCache     CacheStats `json:"advise_cache"`
+	EncodeCache     CacheStats `json:"encode_cache"`
+
+	Batchers map[string]BatcherStats `json:"batchers"`
+	Pool     PoolStats               `json:"pool"`
+}
+
+// snapshot assembles the stats payload from the server's live components.
+func (s *Server) snapshot() Stats {
+	st := Stats{UptimeSeconds: time.Since(s.start).Seconds()}
+	st.Machines = s.machineNames()
+	st.Requests.Advise = s.counters.advise.Load()
+	st.Requests.Predict = s.counters.predict.Load()
+	st.Requests.Healthz = s.counters.health.Load()
+	st.Requests.Stats = s.counters.stats.Load()
+	st.Requests.Errors = s.counters.errors.Load()
+	st.AdviseCacheHits = s.counters.adviseHits.Load()
+	st.AdviseCache = s.adviseCache.Stats()
+	st.EncodeCache = s.encodeCache.Stats()
+	st.Batchers = map[string]BatcherStats{}
+	for name, be := range s.backends {
+		st.Batchers[name] = be.batcher.Stats()
+	}
+	st.Pool = s.pool.Stats()
+	return st
+}
