@@ -32,6 +32,7 @@ import (
 	"paragraph/internal/hw"
 	"paragraph/internal/nn"
 	"paragraph/internal/paragraph"
+	"paragraph/internal/registry"
 	"paragraph/internal/serve"
 	"paragraph/internal/sim"
 	"paragraph/internal/tensor"
@@ -463,6 +464,44 @@ func BenchmarkServeAdviseCached(b *testing.B) {
 			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || !resp.Cached {
 				b.Fatalf("warm request not cached: %s", rec.Body.String())
 			}
+		}
+	}
+}
+
+// BenchmarkRegistryOpen measures checkpoint discovery + verified model
+// loading (the cost of a train-free `serve -model-dir` boot per checkpoint).
+func BenchmarkRegistryOpen(b *testing.B) {
+	dir := b.TempDir()
+	model := gnn.NewModel(gnn.Config{Seed: 1, Hidden: 12, Layers: 2,
+		Relations: int(paragraph.NumEdgeTypes)})
+	if _, err := registry.Save(dir, hw.V100(), "default", paragraph.LevelParaGraph,
+		model, benchServePrep(), registry.TrainInfo{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := registry.Open(dir, registry.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheSnapshotRestore measures one advise-cache persistence
+// round-trip (what each periodic -cache-file snapshot and warm boot costs).
+func BenchmarkCacheSnapshotRestore(b *testing.B) {
+	src := benchServer(b)
+	for i := 0; i < 16; i++ {
+		benchAdvise(b, src, float64(64+i))
+	}
+	dst := benchServer(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := src.SnapshotCache(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dst.RestoreCache(&buf); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,35 +1,49 @@
 // Command serve runs the ParaGraph advisor as a long-running HTTP/JSON
-// service: it trains one cost model per requested platform at startup, then
-// answers kernel-advice requests from the shared models — batched, cached
-// and bounded (internal/serve).
+// service. With -model-dir it boots from registry checkpoints written by
+// `train -save-dir` — no training at startup, and a platform can serve
+// several named model versions; without it, it falls back to training one
+// model per requested platform. Requests are answered batched, cached and
+// bounded (internal/serve); with -cache-file the advise-response cache is
+// snapshotted periodically and on shutdown, so a restarted process answers
+// repeat traffic warm.
 //
 // Usage:
 //
-//	serve [-addr :8080] [-scale tiny|small|full]
+//	serve [-addr :8080] [-model-dir DIR | -scale tiny|small|full]
 //	      [-platforms "IBM POWER9 (CPU),NVIDIA V100 (GPU)"]
 //	      [-epochs N] [-points N]
+//	      [-cache-file PATH] [-cache-snapshot 5m]
 //
 // Endpoints:
 //
 //	POST /v1/advise   rank variant grid for a kernel on one machine
 //	POST /v1/predict  predict one variant's runtime
 //	GET  /v1/healthz  liveness and served machines
-//	GET  /v1/stats    cache/batcher/pool counters
+//	GET  /v1/models   served model versions per platform
+//	GET  /v1/stats    cache/batcher/pool/per-model counters
+//
+// On SIGINT/SIGTERM the server stops accepting requests, drains in-flight
+// batches, flushes the cache snapshot, and exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"paragraph/internal/experiments"
 	"paragraph/internal/hw"
 	"paragraph/internal/paragraph"
+	"paragraph/internal/registry"
 	"paragraph/internal/serve"
 )
 
@@ -40,31 +54,103 @@ func main() {
 	}
 }
 
+// serveConfig is what buildServer resolves beyond the assembled Server.
+type serveConfig struct {
+	addr          string
+	cacheFile     string        // "" = no cache persistence
+	snapshotEvery time.Duration // periodic snapshot interval; <= 0 disables
+}
+
 func run(args []string, w io.Writer) error {
-	srv, addr, err := buildServer(args, w)
+	srv, cfg, err := buildServer(args, w)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	ln, err := net.Listen("tcp", addr)
+
+	if cfg.cacheFile != "" {
+		n, err := srv.LoadCacheFile(cfg.cacheFile)
+		if err != nil {
+			return fmt.Errorf("restoring cache from %s: %w", cfg.cacheFile, err)
+		}
+		if n > 0 {
+			fmt.Fprintf(w, "restored %d cached responses from %s\n", n, cfg.cacheFile)
+		}
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "serving on http://%s\n", ln.Addr())
-	return http.Serve(ln, srv.Handler())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Periodic cache snapshots so even a hard kill loses at most one
+	// interval of warmth.
+	if cfg.cacheFile != "" && cfg.snapshotEvery > 0 {
+		go func() {
+			tick := time.NewTicker(cfg.snapshotEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := srv.SaveCacheFile(cfg.cacheFile); err != nil {
+						fmt.Fprintf(w, "cache snapshot: %v\n", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(w, "shutting down...\n")
+
+	// Stop accepting and let in-flight requests finish, then drain the
+	// batchers (srv.Close) before the final snapshot so every completed
+	// response is eligible for persistence.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(w, "shutdown: %v\n", err)
+	}
+	srv.Close()
+	if cfg.cacheFile != "" {
+		if err := srv.SaveCacheFile(cfg.cacheFile); err != nil {
+			return fmt.Errorf("final cache snapshot: %w", err)
+		}
+		fmt.Fprintf(w, "cache snapshot flushed to %s\n", cfg.cacheFile)
+	}
+	return nil
 }
 
-// buildServer parses flags, trains the per-platform models and assembles
-// the service; the caller decides how to listen (main serves TCP, tests
-// mount the handler directly).
-func buildServer(args []string, w io.Writer) (*serve.Server, string, error) {
+// buildServer parses flags and assembles the service — from registry
+// checkpoints when -model-dir is set, else by training per-platform models;
+// the caller decides how to listen (main serves TCP, tests mount the
+// handler directly).
+func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error) {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(w)
 	addr := fs.String("addr", ":8080", "listen address")
-	scaleName := fs.String("scale", "tiny", "training scale: tiny, small, or full")
+	modelDir := fs.String("model-dir", "", "boot from registry checkpoints under this directory instead of training")
+	maxLoaded := fs.Int("model-max-loaded", 0, "max checkpoint models resident in memory (0 = registry default)")
+	scaleName := fs.String("scale", "tiny", "training scale when not using -model-dir: tiny, small, or full")
 	platforms := fs.String("platforms", allPlatformNames(), "comma-separated machine names to serve")
 	epochs := fs.Int("epochs", 0, "override training epochs (0 = scale default)")
 	points := fs.Int("points", 0, "override dataset points per platform (0 = scale default)")
+	cacheFile := fs.String("cache-file", "", "persist the advise-response cache to this file across restarts")
+	snapshotEvery := fs.Duration("cache-snapshot", 5*time.Minute, "periodic cache snapshot interval (0 = only on shutdown)")
 	adviseCache := fs.Int("advise-cache", 0, "advise/prediction cache entries (0 = default)")
 	encodeCache := fs.Int("encode-cache", 0, "encoded-graph cache entries (0 = default)")
 	maxBatch := fs.Int("batch", 0, "max samples per batched forward pass (0 = default)")
@@ -72,55 +158,23 @@ func buildServer(args []string, w io.Writer) (*serve.Server, string, error) {
 	poolSize := fs.Int("pool", 0, "max evaluations in flight (0 = GOMAXPROCS)")
 	gridWorkers := fs.Int("grid-workers", 0, "per-advise grid fan-out (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
-		return nil, "", err
+		return nil, serveConfig{}, err
+	}
+	cfg := serveConfig{addr: *addr, cacheFile: *cacheFile, snapshotEvery: *snapshotEvery}
+
+	wanted, err := platformSet(*platforms)
+	if err != nil {
+		return nil, serveConfig{}, err
 	}
 
-	var scale experiments.Scale
-	switch strings.ToLower(*scaleName) {
-	case "tiny":
-		scale = experiments.Tiny()
-	case "small":
-		scale = experiments.Small()
-	case "full":
-		scale = experiments.Full()
-	default:
-		return nil, "", fmt.Errorf("unknown scale %q", *scaleName)
-	}
-	if *epochs > 0 {
-		scale.Epochs = *epochs
-	}
-	if *points > 0 {
-		scale.MaxPerPlatform = *points
-	}
-
-	var machines []hw.Machine
-	for _, name := range strings.Split(*platforms, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		m, err := hw.ByName(name)
-		if err != nil {
-			return nil, "", err
-		}
-		machines = append(machines, m)
-	}
-	if len(machines) == 0 {
-		return nil, "", fmt.Errorf("no platforms requested")
-	}
-
-	runner := experiments.NewRunner(scale)
 	var backends []serve.Backend
-	for _, m := range machines {
-		start := time.Now()
-		fmt.Fprintf(w, "training %s model (scale %s, %d epochs)...\n", m.Name, scale.Name, scale.Epochs)
-		tr, err := runner.Trained(m, paragraph.LevelParaGraph)
-		if err != nil {
-			return nil, "", fmt.Errorf("training %s: %w", m.Name, err)
-		}
-		fmt.Fprintf(w, "  %s ready in %.1fs (val RMSE %.4f scaled)\n",
-			m.Name, time.Since(start).Seconds(), tr.Hist.FinalValRMSE())
-		backends = append(backends, serve.Backend{Machine: m, Model: tr.Model, Prep: tr.Prep})
+	if *modelDir != "" {
+		backends, err = checkpointBackends(*modelDir, *maxLoaded, wanted, w)
+	} else {
+		backends, err = trainedBackends(*scaleName, *epochs, *points, wanted, w)
+	}
+	if err != nil {
+		return nil, serveConfig{}, err
 	}
 
 	srv, err := serve.NewServer(backends, serve.Options{
@@ -132,9 +186,121 @@ func buildServer(args []string, w io.Writer) (*serve.Server, string, error) {
 		GridWorkers:     *gridWorkers,
 	})
 	if err != nil {
-		return nil, "", err
+		return nil, serveConfig{}, err
 	}
-	return srv, *addr, nil
+	return srv, cfg, nil
+}
+
+// platformSet parses the -platforms flag into a validated name set.
+func platformSet(flagValue string) (map[string]bool, error) {
+	set := map[string]bool{}
+	for _, name := range strings.Split(flagValue, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := hw.ByName(name); err != nil {
+			return nil, err
+		}
+		set[name] = true
+	}
+	if len(set) == 0 {
+		return nil, fmt.Errorf("no platforms requested")
+	}
+	return set, nil
+}
+
+// checkpointBackends opens a registry and turns its checkpoints (restricted
+// to the requested platforms) into serving backends — train-free startup.
+func checkpointBackends(dir string, maxLoaded int, wanted map[string]bool, w io.Writer) ([]serve.Backend, error) {
+	reg, err := registry.Open(dir, registry.Options{MaxLoaded: maxLoaded})
+	if err != nil {
+		return nil, err
+	}
+	var backends []serve.Backend
+	for _, e := range reg.Entries() {
+		if !wanted[e.Manifest.Platform] {
+			continue
+		}
+		fmt.Fprintf(w, "loaded checkpoint %s/%s (level %s, val RMSE %.4f scaled)\n",
+			e.Manifest.Platform, e.Manifest.Name, e.Manifest.Level, e.Manifest.Train.FinalValRMSE)
+		backends = append(backends, serve.Backend{
+			Machine: e.Machine,
+			Model:   e,
+			Prep:    e.Prep,
+			Name:    e.Manifest.Name,
+			Default: reg.Default(e),
+			Info: &serve.ModelInfo{
+				Level:     e.Level,
+				Source:    "checkpoint",
+				Hidden:    e.Manifest.Config.Hidden,
+				Layers:    e.Manifest.Config.Layers,
+				Params:    e.Manifest.Params,
+				Epochs:    e.Manifest.Train.Epochs,
+				ValRMSE:   e.Manifest.Train.FinalValRMSE,
+				CreatedAt: e.Manifest.CreatedAt,
+			},
+		})
+	}
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("no checkpoints under %s match the requested platforms", dir)
+	}
+	return backends, nil
+}
+
+// trainedBackends is the fallback path: train one model per requested
+// platform at startup, as before checkpoints existed.
+func trainedBackends(scaleName string, epochs, points int, wanted map[string]bool, w io.Writer) ([]serve.Backend, error) {
+	var scale experiments.Scale
+	switch strings.ToLower(scaleName) {
+	case "tiny":
+		scale = experiments.Tiny()
+	case "small":
+		scale = experiments.Small()
+	case "full":
+		scale = experiments.Full()
+	default:
+		return nil, fmt.Errorf("unknown scale %q", scaleName)
+	}
+	if epochs > 0 {
+		scale.Epochs = epochs
+	}
+	if points > 0 {
+		scale.MaxPerPlatform = points
+	}
+
+	var machines []hw.Machine
+	for _, m := range hw.All() {
+		if wanted[m.Name] {
+			machines = append(machines, m)
+		}
+	}
+
+	runner := experiments.NewRunner(scale)
+	var backends []serve.Backend
+	for _, m := range machines {
+		start := time.Now()
+		fmt.Fprintf(w, "training %s model (scale %s, %d epochs)...\n", m.Name, scale.Name, scale.Epochs)
+		tr, err := runner.Trained(m, paragraph.LevelParaGraph)
+		if err != nil {
+			return nil, fmt.Errorf("training %s: %w", m.Name, err)
+		}
+		fmt.Fprintf(w, "  %s ready in %.1fs (val RMSE %.4f scaled)\n",
+			m.Name, time.Since(start).Seconds(), tr.Hist.FinalValRMSE())
+		backends = append(backends, serve.Backend{
+			Machine: m, Model: tr.Model, Prep: tr.Prep,
+			Info: &serve.ModelInfo{
+				Level:   paragraph.LevelParaGraph,
+				Source:  "trained",
+				Hidden:  tr.Model.Config().Hidden,
+				Layers:  tr.Model.Config().Layers,
+				Params:  tr.Model.NumParams(),
+				Epochs:  scale.Epochs,
+				ValRMSE: tr.Hist.FinalValRMSE(),
+			},
+		})
+	}
+	return backends, nil
 }
 
 func allPlatformNames() string {

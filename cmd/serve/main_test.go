@@ -6,9 +6,15 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"paragraph/internal/experiments"
+	"paragraph/internal/hw"
+	"paragraph/internal/paragraph"
+	"paragraph/internal/registry"
 	"paragraph/internal/serve"
 )
 
@@ -134,12 +140,185 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// trainCheckpoints writes two micro checkpoints for one platform and
+// returns the registry root.
+func trainCheckpoints(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	runner := experiments.NewRunner(microScale(1))
+	tr, err := runner.Trained(hw.V100(), paragraph.LevelParaGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, save := range []struct {
+		name   string
+		epochs int
+	}{{"default", 1}, {"exp", 1}} {
+		if _, err := registry.Save(dir, hw.V100(), save.name, paragraph.LevelParaGraph,
+			tr.Model, tr.Prep, registry.TrainInfo{Scale: "tiny", Epochs: save.epochs,
+				TrainSamples: len(tr.Prep.Train), ValSamples: len(tr.Prep.Val),
+				FinalValRMSE: tr.Hist.FinalValRMSE()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func microScale(epochs int) experiments.Scale {
+	s := experiments.Tiny()
+	s.Epochs = epochs
+	s.MaxPerPlatform = 24
+	return s
+}
+
+// TestModelDirServesCheckpointsWithoutTraining is the train-free startup
+// acceptance check: boot from -model-dir, list two named versions, advise
+// through a non-default one.
+func TestModelDirServesCheckpointsWithoutTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the checkpoint fixture in -short mode")
+	}
+	dir := trainCheckpoints(t)
+	var out strings.Builder
+	srv, _, err := buildServer([]string{"-model-dir", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	if strings.Contains(out.String(), "training") {
+		t.Errorf("-model-dir startup trained anyway:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "loaded checkpoint NVIDIA V100 (GPU)/default") ||
+		!strings.Contains(out.String(), "loaded checkpoint NVIDIA V100 (GPU)/exp") {
+		t.Errorf("startup log missing checkpoints:\n%s", out.String())
+	}
+
+	models := srv.Models()
+	if len(models.Models) != 2 {
+		t.Fatalf("serving %d models, want 2", len(models.Models))
+	}
+	for _, m := range models.Models {
+		if m.Source != "checkpoint" {
+			t.Errorf("model %s source = %q, want checkpoint", m.Name, m.Source)
+		}
+		if m.Default != (m.Name == "default") {
+			t.Errorf("model %s default flag = %v", m.Name, m.Default)
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+	base := "http://" + ln.Addr().String()
+
+	req := serve.AdviseRequest{
+		Kernel:   "matmul",
+		Machine:  "NVIDIA V100 (GPU)",
+		Model:    "exp",
+		Bindings: map[string]float64{"n": 256},
+		Space:    &serve.SpaceSpec{GPUTeams: []int{64, 128}, GPUThreads: []int{128}},
+	}
+	var resp serve.AdviseResponse
+	post(t, base+"/v1/advise", req, &resp)
+	if resp.Model != "exp" || len(resp.Recommendations) == 0 {
+		t.Errorf("checkpoint advise = %+v", resp)
+	}
+	for _, r := range resp.Recommendations {
+		if r.PredictedUS <= 0 {
+			t.Errorf("non-positive prediction %+v", r)
+		}
+	}
+}
+
+// TestCacheFileSurvivesRestart is the warm-restart acceptance check: a
+// request cached by one server instance, snapshotted to -cache-file, is a
+// cache hit on a freshly built instance after restore — the kill/restart
+// path cmd/serve runs through run().
+func TestCacheFileSurvivesRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the checkpoint fixture in -short mode")
+	}
+	dir := trainCheckpoints(t)
+	cacheFile := filepath.Join(t.TempDir(), "cache.json")
+	args := []string{"-model-dir", dir, "-cache-file", cacheFile}
+
+	req := serve.AdviseRequest{
+		Kernel:   "matmul",
+		Machine:  "NVIDIA V100 (GPU)",
+		Bindings: map[string]float64{"n": 256},
+		Space:    &serve.SpaceSpec{GPUTeams: []int{64, 128}, GPUThreads: []int{128}},
+	}
+
+	// First process lifetime: cold advise, then flush the snapshot (what
+	// run() does on SIGTERM after draining).
+	srv1, cfg, err := buildServer(args, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cold serve.AdviseResponse
+	doLocal(t, srv1, req, &cold)
+	if cold.Cached {
+		t.Fatal("first-ever request claims cached")
+	}
+	srv1.Close()
+	if err := srv1.SaveCacheFile(cfg.cacheFile); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second process lifetime: restore, and the same request must hit.
+	srv2, cfg2, err := buildServer(args, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv2.Close)
+	n, err := srv2.LoadCacheFile(cfg2.cacheFile)
+	if err != nil || n == 0 {
+		t.Fatalf("LoadCacheFile = %d, %v", n, err)
+	}
+	var warm serve.AdviseResponse
+	doLocal(t, srv2, req, &warm)
+	if !warm.Cached {
+		t.Error("restarted server missed the restored cache entry")
+	}
+	if len(warm.Recommendations) != len(cold.Recommendations) {
+		t.Fatal("restored ranking differs in length")
+	}
+	for i := range cold.Recommendations {
+		if warm.Recommendations[i] != cold.Recommendations[i] {
+			t.Errorf("restored rec %d differs", i)
+		}
+	}
+}
+
+// doLocal posts an advise request straight at the handler.
+func doLocal(t *testing.T, srv *serve.Server, req serve.AdviseRequest, out *serve.AdviseResponse) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	hreq := httptest.NewRequest(http.MethodPost, "/v1/advise", &buf)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, hreq)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("advise: %d %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBuildServerFlagErrors(t *testing.T) {
 	cases := [][]string{
 		{"-scale", "huge"},
 		{"-platforms", "Cray-1"},
 		{"-platforms", ""},
 		{"-badflag"},
+		{"-model-dir", "/nonexistent/registry"},
 	}
 	for _, args := range cases {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {

@@ -1,10 +1,14 @@
 // Command train trains the ParaGraph GNN cost model (and optionally the
-// COMPOFF baseline) for one platform and reports validation metrics.
+// COMPOFF baseline) for one platform and reports validation metrics. With
+// -save-dir it also writes the trained model as a registry checkpoint
+// (internal/registry: weights + manifest) that cmd/serve -model-dir can
+// boot from without retraining.
 //
 // Usage:
 //
 //	train [-scale tiny|small|full] [-platform "NVIDIA V100 (GPU)"]
 //	      [-level raw|aug|para] [-compoff] [-epochs N] [-points N]
+//	      [-save-dir DIR] [-save-name NAME]
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"paragraph/internal/hw"
 	"paragraph/internal/metrics"
 	"paragraph/internal/paragraph"
+	"paragraph/internal/registry"
 )
 
 func main() {
@@ -37,8 +42,16 @@ func run(args []string, w io.Writer) error {
 	withCompoff := fs.Bool("compoff", false, "also train the COMPOFF baseline (GPU platforms)")
 	epochs := fs.Int("epochs", 0, "override training epochs (0 = scale default)")
 	points := fs.Int("points", 0, "override dataset points per platform (0 = scale default)")
+	saveDir := fs.String("save-dir", "", "write the trained model as a registry checkpoint under this directory")
+	saveName := fs.String("save-name", "default", "checkpoint version name within -save-dir")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *saveDir != "" {
+		// Reject a bad version name now, not after the training run.
+		if err := registry.CheckName(*saveName); err != nil {
+			return err
+		}
 	}
 
 	var scale experiments.Scale
@@ -88,6 +101,20 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "\nvalidation (n=%d): RMSE %.4g ms, Norm-RMSE %.3e, Pearson(log) %.4f\n",
 		len(actual), metrics.RMSE(pred, actual), metrics.NormRMSE(pred, actual),
 		logPearson(pred, actual))
+
+	if *saveDir != "" {
+		dir, err := registry.Save(*saveDir, m, *saveName, level, tr.Model, tr.Prep, registry.TrainInfo{
+			Scale:        scale.Name,
+			Epochs:       scale.Epochs,
+			TrainSamples: len(tr.Prep.Train),
+			ValSamples:   len(tr.Prep.Val),
+			FinalValRMSE: tr.Hist.FinalValRMSE(),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "checkpoint %s/%s saved to %s\n", m.Name, *saveName, dir)
+	}
 
 	if *withCompoff {
 		res, err := runner.Figure8()

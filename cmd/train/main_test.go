@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"paragraph/internal/registry"
 )
 
 func TestRunFlagErrors(t *testing.T) {
@@ -44,6 +46,56 @@ func TestRunTinyEndToEnd(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// TestSaveDirWritesLoadableCheckpoint trains a micro model with -save-dir
+// and verifies the checkpoint opens through the registry with the trained
+// platform, name and level.
+func TestSaveDirWritesLoadableCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{
+		"-scale", "tiny",
+		"-epochs", "1",
+		"-points", "24",
+		"-platform", "IBM POWER9 (CPU)",
+		"-save-dir", dir,
+		"-save-name", "smoke",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "checkpoint IBM POWER9 (CPU)/smoke saved to") {
+		t.Errorf("output missing checkpoint line:\n%s", out.String())
+	}
+	reg, err := registry.Open(dir, registry.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := reg.Lookup("IBM POWER9 (CPU)", "smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Manifest.Level != "ParaGraph" || e.Manifest.Train.Epochs != 1 {
+		t.Errorf("manifest = %+v", e.Manifest)
+	}
+	if e.Manifest.Train.TrainSamples == 0 || e.Manifest.Train.ValSamples == 0 {
+		t.Errorf("train info lacks sample counts: %+v", e.Manifest.Train)
+	}
+}
+
+func TestSaveDirRejectsBadNameEarly(t *testing.T) {
+	// The name is validated before training starts, so this is fast.
+	err := run([]string{
+		"-platform", "IBM POWER9 (CPU)",
+		"-save-dir", t.TempDir(), "-save-name", "bad name",
+	}, io.Discard)
+	if err == nil {
+		t.Error("invalid -save-name accepted")
 	}
 }
 

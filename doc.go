@@ -15,22 +15,42 @@
 //
 // Because the cost model predicts variant runtimes statically, it can run
 // as an always-on advisory service rather than a one-shot CLI. cmd/serve
-// trains one model per requested platform at startup and exposes them over
-// HTTP/JSON (internal/serve):
+// exposes trained models over HTTP/JSON (internal/serve):
 //
 //	POST /v1/advise   rank a kernel's variant grid on one machine
 //	POST /v1/predict  predict one variant's runtime
 //	GET  /v1/healthz  liveness and served machines
-//	GET  /v1/stats    cache/batcher/pool counters
+//	GET  /v1/models   served model versions per platform
+//	GET  /v1/stats    cache/batcher/pool/per-model counters
+//
+// Models come from a checkpoint registry (internal/registry): `train
+// -save-dir DIR` persists each trained model as weights plus a JSON
+// manifest (architecture, platform, representation level, feature/target
+// scalers, weights checksum, training stats) under
+// DIR/<platform-slug>/<version>/, and `serve -model-dir DIR` boots from
+// those checkpoints without retraining — several named versions per
+// platform (levels, scales, A/B candidates), resolved through a "default"
+// alias unless a request's optional "model" field picks one. The registry
+// verifies every checkpoint at startup and keeps at most -model-max-loaded
+// models resident, evicting least-recently-used weights and reloading them
+// on demand. Without -model-dir, cmd/serve falls back to training at
+// startup.
 //
 // A request flows through three layers. A content-addressed sharded LRU
 // cache first answers exact repeats (whole advise responses and single
 // predictions) and memoizes the parse→BuildKernel→Encode pipeline behind
-// them (keyed by hash of kernel source, level, threads and bindings). On a
-// miss, a bounded worker pool admits the evaluation and the advisor fans
-// the variant grid across goroutines (internal/advisor). Each variant's
-// prediction finally lands on a micro-batching queue that coalesces
-// concurrently-arriving samples into gnn.Model.PredictBatch forward passes.
-// Rankings are bit-identical to the serial pipeline; only throughput and
-// latency change. examples/serveclient shows the client side.
+// them (keyed by hash of kernel source, level, threads, bindings and model
+// version). On a miss, identical concurrent requests are collapsed into a
+// single evaluation (singleflight), a bounded worker pool admits it, and
+// the advisor fans the variant grid across goroutines (internal/advisor).
+// Each variant's prediction finally lands on a per-model micro-batching
+// queue that coalesces concurrently-arriving samples into
+// gnn.Model.PredictBatch forward passes. Rankings are bit-identical to the
+// serial pipeline; only throughput and latency change.
+//
+// With -cache-file the advise-response cache is snapshotted periodically
+// (-cache-snapshot) and on SIGTERM/SIGINT — shutdown stops the listener,
+// drains in-flight batches, then flushes — so a restarted process answers
+// previously-cached requests as hits immediately. examples/serveclient
+// shows the client side end to end.
 package paragraph

@@ -1,11 +1,23 @@
 // Serveclient: talk to the advisor service over HTTP/JSON — the paper's
 // static cost model as an always-on endpoint instead of a one-shot CLI.
 //
-// With no flags it is self-contained: it trains a micro model, starts the
-// service on a loopback port, then acts as a client — POSTing a kernel to
-// /v1/advise twice (cold, then cache-hit) and printing the ranked
-// recommendations plus the /v1/stats counters. Point it at an already
-// running `go run ./cmd/serve` with -url.
+// With no flags it is self-contained and walks the whole checkpoint
+// lifecycle: it trains a micro model, saves it to a temporary registry
+// under two version names ("default" and "exp"), boots the service from
+// those checkpoints exactly as `serve -model-dir` would — no retraining —
+// and then acts as a client: listing GET /v1/models, POSTing a kernel to
+// /v1/advise three times (cold, cache-hit, and routed to the "exp" version
+// with the request's "model" field), snapshotting the response cache to a
+// file and restoring it into a second service instance to show a warm
+// restart, and finally printing the /v1/stats counters.
+//
+// The registry layout mirrors what `train -save-dir DIR` writes and
+// `serve -model-dir DIR -cache-file CACHE` consumes:
+//
+//	DIR/<platform-slug>/<version>/manifest.json   config, scalers, stats
+//	DIR/<platform-slug>/<version>/weights.json    gnn.Model.Save output
+//
+// Point it at an already running `go run ./cmd/serve` with -url.
 //
 //	go run ./examples/serveclient
 //	go run ./examples/serveclient -url http://localhost:8080
@@ -19,10 +31,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 
 	"paragraph/internal/experiments"
 	"paragraph/internal/hw"
 	"paragraph/internal/paragraph"
+	"paragraph/internal/registry"
 	"paragraph/internal/serve"
 )
 
@@ -31,15 +46,33 @@ func main() {
 	flag.Parse()
 
 	base := *url
-	if base == "" {
+	local := base == ""
+	var warmRestart func(serve.AdviseRequest) error
+	if local {
 		var stop func()
 		var err error
-		base, stop, err = startLocalService()
+		base, stop, warmRestart, err = startLocalService()
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer stop()
 	}
+
+	// What model versions is the service holding? (GET /v1/models)
+	var models serve.ModelsResponse
+	if err := getJSON(base+"/v1/models", &models); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("served models:")
+	for _, m := range models.Models {
+		def := " "
+		if m.Default {
+			def = "*"
+		}
+		fmt.Printf("  %s %s/%s (level %s, source %s, val RMSE %.3f)\n",
+			def, m.Platform, m.Name, m.Level, m.Source, m.ValRMSE)
+	}
+	fmt.Println()
 
 	req := serve.AdviseRequest{
 		Kernel:   "matmul",
@@ -53,12 +86,25 @@ func main() {
 	}
 	fmt.Printf("asking %s for the 5 best matmul variants on %s (n=512)\n\n", base, req.Machine)
 
-	for _, pass := range []string{"cold", "repeat"} {
+	// Cold, then repeated (cache hit), then routed to a named version with
+	// the request's "model" field.
+	passes := []struct {
+		label string
+		model string
+	}{{"cold", ""}, {"repeat", ""}, {"model=exp", "exp"}}
+	for _, pass := range passes {
+		req.Model = pass.model
 		resp, err := advise(base, req)
 		if err != nil {
+			if pass.model != "" {
+				// A remote service may not serve an "exp" version; skip.
+				fmt.Printf("[%s] skipped: %v\n\n", pass.label, err)
+				continue
+			}
 			log.Fatal(err)
 		}
-		fmt.Printf("[%s] cached=%v elapsed=%.2fms\n", pass, resp.Cached, resp.ElapsedMS)
+		fmt.Printf("[%s] model=%s cached=%v elapsed=%.2fms\n",
+			pass.label, resp.Model, resp.Cached, resp.ElapsedMS)
 		for i, r := range resp.Recommendations {
 			teams := "-"
 			if r.Teams > 0 {
@@ -74,39 +120,127 @@ func main() {
 	if err := getJSON(base+"/v1/stats", &st); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("service stats: %d advise requests, %d response-cache hits, encode cache %d/%d hit/miss\n",
-		st.Requests.Advise, st.AdviseCacheHits, st.EncodeCache.Hits, st.EncodeCache.Misses)
+	fmt.Printf("service stats: %d advise requests, %d response-cache hits, %d coalesced, encode cache %d/%d hit/miss\n",
+		st.Requests.Advise, st.AdviseCacheHits, st.Coalesced, st.EncodeCache.Hits, st.EncodeCache.Misses)
+	for _, m := range st.Models {
+		fmt.Printf("  model %s/%s: %d advise, batcher %d samples in %d batches\n",
+			m.Platform, m.Name, m.Advise, m.Batcher.Samples, m.Batcher.Batches)
+	}
+
+	if local {
+		req.Model = ""
+		if err := warmRestart(req); err != nil {
+			log.Fatal(err)
+		}
+	}
 }
 
-// startLocalService trains a micro V100 model and serves it on a loopback
-// port, returning the base URL and a shutdown function.
-func startLocalService() (string, func(), error) {
+// startLocalService walks the checkpoint lifecycle in-process: train a
+// micro V100 model, save it as two registry versions, and boot the service
+// from the registry (train-free, as `serve -model-dir` does). The returned
+// warmRestart runs the `-cache-file` kill/restart drill: snapshot the first
+// instance's response cache, build a second instance from the same
+// checkpoints, restore the snapshot into it, and replay a request to show
+// it answers as a cache hit.
+func startLocalService() (base string, stop func(), warmRestart func(serve.AdviseRequest) error, err error) {
 	scale := experiments.Tiny()
 	scale.Epochs = 2
 	scale.MaxPerPlatform = 60
-	fmt.Println("training a micro V100 cost model for the local service...")
+	fmt.Println("training a micro V100 cost model...")
 	tr, err := experiments.NewRunner(scale).Trained(hw.V100(), paragraph.LevelParaGraph)
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
-	srv, err := serve.NewServer([]serve.Backend{
-		{Machine: hw.V100(), Model: tr.Model, Prep: tr.Prep},
-	}, serve.Options{})
+
+	// Persist it under two version names — in production these would be
+	// separate training runs (scales, levels, A/B candidates).
+	dir, err := os.MkdirTemp("", "paragraph-registry-*")
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
+	}
+	fail := func(err error) (string, func(), func(serve.AdviseRequest) error, error) {
+		os.RemoveAll(dir)
+		return "", nil, nil, err
+	}
+	info := registry.TrainInfo{
+		Scale: scale.Name, Epochs: scale.Epochs,
+		TrainSamples: len(tr.Prep.Train), ValSamples: len(tr.Prep.Val),
+		FinalValRMSE: tr.Hist.FinalValRMSE(),
+	}
+	for _, name := range []string{"default", "exp"} {
+		if _, err := registry.Save(dir, hw.V100(), name, paragraph.LevelParaGraph, tr.Model, tr.Prep, info); err != nil {
+			return fail(err)
+		}
+	}
+	fmt.Printf("saved checkpoints under %s, booting train-free from the registry...\n\n", dir)
+
+	reg, err := registry.Open(dir, registry.Options{})
+	if err != nil {
+		return fail(err)
+	}
+	var backends []serve.Backend
+	for _, e := range reg.Entries() {
+		backends = append(backends, serve.Backend{
+			Machine: e.Machine, Model: e, Prep: e.Prep,
+			Name: e.Manifest.Name, Default: reg.Default(e),
+			Info: &serve.ModelInfo{
+				Level: e.Level, Source: "checkpoint",
+				Hidden: e.Manifest.Config.Hidden, Layers: e.Manifest.Config.Layers,
+				Params: e.Manifest.Params, Epochs: e.Manifest.Train.Epochs,
+				ValRMSE: e.Manifest.Train.FinalValRMSE, CreatedAt: e.Manifest.CreatedAt,
+			},
+		})
+	}
+	srv, err := serve.NewServer(backends, serve.Options{})
+	if err != nil {
+		return fail(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		srv.Close()
-		return "", nil, err
+		return fail(err)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
-	stop := func() {
+	stop = func() {
 		hs.Close()
 		srv.Close()
+		os.RemoveAll(dir)
 	}
-	return "http://" + ln.Addr().String(), stop, nil
+
+	// The kill/restart drill: flush instance one's cache (what cmd/serve
+	// does on SIGTERM), boot instance two from the same checkpoints, restore
+	// the snapshot, replay the request — it must answer as a cache hit.
+	warmRestart = func(req serve.AdviseRequest) error {
+		cacheFile := filepath.Join(dir, "cache.json")
+		if err := srv.SaveCacheFile(cacheFile); err != nil {
+			return err
+		}
+		srv2, err := serve.NewServer(backends, serve.Options{})
+		if err != nil {
+			return err
+		}
+		defer srv2.Close()
+		n, err := srv2.LoadCacheFile(cacheFile)
+		if err != nil {
+			return err
+		}
+		ln2, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs2 := &http.Server{Handler: srv2.Handler()}
+		go hs2.Serve(ln2)
+		defer hs2.Close()
+		resp, err := advise("http://"+ln2.Addr().String(), req)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nwarm restart (`serve -cache-file`): second instance restored %d responses; replayed advise cached=%v\n",
+			n, resp.Cached)
+		return nil
+	}
+	return "http://" + ln.Addr().String(), stop, warmRestart, nil
 }
 
 func advise(base string, req serve.AdviseRequest) (*serve.AdviseResponse, error) {

@@ -63,6 +63,11 @@ func New(model Predictor, prep *dataset.Prepared, machine hw.Machine) *Advisor {
 	return &Advisor{model: model, prep: prep, machine: machine, level: paragraph.LevelParaGraph}
 }
 
+// SetLevel selects the representation level EncodeInstance builds graphs
+// at. The default is LevelParaGraph; it must match the level the predictor
+// was trained on (registry checkpoints record theirs in the manifest).
+func (a *Advisor) SetLevel(l paragraph.Level) { a.level = l }
+
 // SetWorkers bounds the goroutines Advise fans the variant grid across.
 // n <= 0 restores the default (GOMAXPROCS); n == 1 recovers the serial
 // evaluation order exactly.

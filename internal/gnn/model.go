@@ -247,8 +247,12 @@ func (m *Model) PredictBatch(samples []*Sample) []float64 {
 
 // Save writes the model weights as a checkpoint. The architecture (Config)
 // is not stored; Load must be called on a model built with the same Config.
+// internal/registry pairs the weights with a manifest carrying the Config.
 func (m *Model) Save(w io.Writer) error { return nn.SaveParams(w, m.params) }
 
 // Load restores weights from a checkpoint produced by Save on an
 // identically-configured model.
 func (m *Model) Load(r io.Reader) error { return nn.LoadParams(r, m.params) }
+
+// Checksum fingerprints the current weights (see nn.ChecksumParams).
+func (m *Model) Checksum() string { return nn.ChecksumParams(m.params) }

@@ -1,9 +1,13 @@
 package nn
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"paragraph/internal/tensor"
 )
@@ -43,6 +47,24 @@ func SaveParams(w io.Writer, params []*Parameter) error {
 		}
 	}
 	return json.NewEncoder(w).Encode(cp)
+}
+
+// ChecksumParams fingerprints a parameter set: a hex SHA-256 over every
+// parameter's name, shape and exact bit pattern, in order. Registry
+// manifests store it next to the weights file so a checkpoint that was
+// corrupted or swapped after training is rejected at load time rather than
+// silently served.
+func ChecksumParams(params []*Parameter) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, p := range params {
+		fmt.Fprintf(h, "%s:%dx%d:", p.Name, p.Value.Rows, p.Value.Cols)
+		for _, v := range p.Value.Data {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // LoadParams reads a checkpoint into the given parameters, matching by

@@ -114,6 +114,30 @@ func (c *Cache) Add(key string, val any) {
 	}
 }
 
+// CacheItem is one entry of an Items snapshot.
+type CacheItem struct {
+	Key string
+	Val any
+}
+
+// Items snapshots every entry, most-recently-used first within each shard
+// (shards are concatenated in index order). The snapshot layer feeds
+// persisted caches back through Add in reverse, so restore approximately
+// preserves recency.
+func (c *Cache) Items() []CacheItem {
+	var out []CacheItem
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			out = append(out, CacheItem{Key: e.key, Val: e.val})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Len returns the total entry count across shards.
 func (c *Cache) Len() int {
 	n := 0

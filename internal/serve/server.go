@@ -3,10 +3,12 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"paragraph/internal/advisor"
@@ -18,12 +20,38 @@ import (
 	"paragraph/internal/variants"
 )
 
-// Backend is one servable platform: a machine profile plus the cost model
-// trained for it and the Prepared dataset carrying that training's scalers.
+// Backend is one servable model: a machine profile plus a cost model for
+// it and the Prepared dataset (or manifest scalers) carrying that
+// training's normalization. A platform may register several Backends under
+// distinct Names — training scales, representation levels, A/B candidates —
+// and requests pick one with the "model" field; one of them is the
+// platform's default alias.
 type Backend struct {
 	Machine hw.Machine
 	Model   BatchPredictor
 	Prep    *dataset.Prepared
+
+	// Name is the model's version name within its platform ("" = "default").
+	Name string
+	// Default forces this backend to be the platform's default alias. At
+	// most one backend per platform may set it; with none set, a backend
+	// named "default" wins, else the lexicographically first name.
+	Default bool
+	// Info describes the model for /v1/models and selects the advisor's
+	// representation level. nil means a freshly trained LevelParaGraph model.
+	Info *ModelInfo
+}
+
+// ModelInfo is per-model metadata surfaced through /v1/models.
+type ModelInfo struct {
+	Level     paragraph.Level
+	Source    string // "trained", "checkpoint", ...
+	Hidden    int
+	Layers    int
+	Params    int // scalar parameter count
+	Epochs    int
+	ValRMSE   float64 // final validation RMSE (scaled)
+	CreatedAt time.Time
 }
 
 // Options tunes the service layers. Zero values pick sensible defaults.
@@ -52,13 +80,29 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// backendState wires one Backend into the service: its batcher (the
-// advisor's Predictor) and the advisor built on top of it.
+// backendState is one served platform: its machine profile and the named
+// models serving it.
 type backendState struct {
-	machine hw.Machine
+	machine     hw.Machine
+	models      map[string]*modelState
+	defaultName string
+}
+
+// modelState wires one model version into the service: its batcher (the
+// advisor's Predictor), the advisor built on top of it, and per-model
+// traffic counters.
+type modelState struct {
+	name    string
+	info    ModelInfo
 	advisor *advisor.Advisor
 	batcher *Batcher
+
+	advise   atomic.Uint64
+	predict  atomic.Uint64
+	lastUsed atomic.Int64 // unix seconds; 0 = never
 }
+
+func (ms *modelState) touch() { ms.lastUsed.Store(time.Now().Unix()) }
 
 // Server is the advisor service. Build one with NewServer, mount Handler on
 // an http.Server, and Close it on shutdown.
@@ -70,6 +114,7 @@ type Server struct {
 	adviseCache *Cache // whole advise responses and single predictions
 	encodeCache *Cache // encoded graphs, shared across backends
 	pool        *Pool
+	flights     flightGroup // collapses identical concurrent cache misses
 	counters    requestCounters
 }
 
@@ -106,33 +151,89 @@ func NewServer(backends []Backend, opts Options) (*Server, error) {
 		if b.Model == nil || b.Prep == nil {
 			return nil, fmt.Errorf("serve: backend %q missing model or prepared dataset", b.Machine.Name)
 		}
-		if _, dup := s.backends[b.Machine.Name]; dup {
-			return nil, fmt.Errorf("serve: duplicate backend %q", b.Machine.Name)
+		name := b.Name
+		if name == "" {
+			name = "default"
+		}
+		be, ok := s.backends[b.Machine.Name]
+		if !ok {
+			be = &backendState{machine: b.Machine, models: map[string]*modelState{}}
+			s.backends[b.Machine.Name] = be
+		}
+		if _, dup := be.models[name]; dup {
+			return nil, fmt.Errorf("serve: duplicate backend %s/%s", b.Machine.Name, name)
+		}
+		info := ModelInfo{Level: paragraph.LevelParaGraph, Source: "trained"}
+		if b.Info != nil {
+			info = *b.Info
 		}
 		batcher := NewBatcher(b.Model, opts.MaxBatch, opts.BatchWait)
 		adv := advisor.New(batcher, b.Prep, b.Machine)
+		adv.SetLevel(info.Level)
 		adv.SetWorkers(opts.GridWorkers)
 		adv.SetEncodeCache(encodeCacheAdapter{s.encodeCache})
-		s.backends[b.Machine.Name] = &backendState{
-			machine: b.Machine,
+		be.models[name] = &modelState{
+			name:    name,
+			info:    info,
 			advisor: adv,
 			batcher: batcher,
+		}
+		if b.Default {
+			if be.defaultName != "" && be.defaultName != name {
+				return nil, fmt.Errorf("serve: platform %q declares two default models (%s, %s)",
+					b.Machine.Name, be.defaultName, name)
+			}
+			be.defaultName = name
+		}
+	}
+	// Resolve each platform's default alias: an explicit Default wins, then
+	// a model literally named "default", then the lexicographically first.
+	for _, be := range s.backends {
+		if be.defaultName != "" {
+			// An explicit default must not shadow a model named "default":
+			// the alias rewrite would make that model unreachable by name.
+			if _, ok := be.models["default"]; ok && be.defaultName != "default" {
+				return nil, fmt.Errorf("serve: platform %q: model named \"default\" would be shadowed by explicit default %q",
+					be.machine.Name, be.defaultName)
+			}
+			continue
+		}
+		if _, ok := be.models["default"]; ok {
+			be.defaultName = "default"
+			continue
+		}
+		for _, name := range be.modelNames() {
+			be.defaultName = name
+			break
 		}
 	}
 	s.mux.HandleFunc("/v1/advise", s.handleAdvise)
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
 	return s, nil
+}
+
+// modelNames lists a platform's model versions, sorted.
+func (be *backendState) modelNames() []string {
+	names := make([]string, 0, len(be.models))
+	for name := range be.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the per-backend batchers after draining in-flight batches.
+// Close stops the per-model batchers after draining in-flight batches.
 func (s *Server) Close() {
 	for _, be := range s.backends {
-		be.batcher.Close()
+		for _, ms := range be.models {
+			ms.batcher.Close()
+		}
 	}
 }
 
@@ -219,6 +320,7 @@ type AdviseRequest struct {
 	Kernel        string             `json:"kernel,omitempty"`
 	Custom        *KernelSpec        `json:"custom,omitempty"`
 	Machine       string             `json:"machine"`
+	Model         string             `json:"model,omitempty"` // version name; "" = platform default
 	Bindings      map[string]float64 `json:"bindings,omitempty"`
 	Space         *SpaceSpec         `json:"space,omitempty"`
 	Top           int                `json:"top,omitempty"`            // 0 = all
@@ -234,11 +336,16 @@ type Recommendation struct {
 	Source      string  `json:"source,omitempty"`
 }
 
-// AdviseResponse is the ranked answer, fastest first.
+// AdviseResponse is the ranked answer, fastest first. Model is the
+// resolved version name. Coalesced marks a response that piggybacked on an
+// identical concurrent request's evaluation (singleflight) instead of
+// computing or hitting the cache itself.
 type AdviseResponse struct {
 	Machine         string           `json:"machine"`
+	Model           string           `json:"model"`
 	Kernel          string           `json:"kernel"`
 	Cached          bool             `json:"cached"`
+	Coalesced       bool             `json:"coalesced,omitempty"`
 	ElapsedMS       float64          `json:"elapsed_ms"`
 	Recommendations []Recommendation `json:"recommendations"`
 }
@@ -248,7 +355,8 @@ type PredictRequest struct {
 	Kernel   string             `json:"kernel,omitempty"`
 	Custom   *KernelSpec        `json:"custom,omitempty"`
 	Machine  string             `json:"machine"`
-	Variant  string             `json:"variant"` // e.g. "gpu_collapse_mem"
+	Model    string             `json:"model,omitempty"` // version name; "" = platform default
+	Variant  string             `json:"variant"`         // e.g. "gpu_collapse_mem"
 	Teams    int                `json:"teams,omitempty"`
 	Threads  int                `json:"threads"`
 	Bindings map[string]float64 `json:"bindings,omitempty"`
@@ -257,6 +365,7 @@ type PredictRequest struct {
 // PredictResponse is one static runtime prediction.
 type PredictResponse struct {
 	Machine     string  `json:"machine"`
+	Model       string  `json:"model"`
 	Kernel      string  `json:"kernel"`
 	Variant     string  `json:"variant"`
 	Teams       int     `json:"teams,omitempty"`
@@ -290,6 +399,25 @@ func (s *Server) resolveBackend(machine string) (*backendState, error) {
 			machine, strings.Join(s.machineNames(), ", "))
 	}
 	return be, nil
+}
+
+// resolveModel picks a machine's model version. An empty or "default" name
+// follows the platform's default alias; responses and cache keys carry the
+// resolved name, so the alias and its target share cache entries.
+func (s *Server) resolveModel(machine, model string) (*backendState, *modelState, error) {
+	be, err := s.resolveBackend(machine)
+	if err != nil {
+		return nil, nil, err
+	}
+	if model == "" || model == "default" {
+		model = be.defaultName
+	}
+	ms, ok := be.models[model]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown model %q for machine %q (serving: %s)",
+			model, machine, strings.Join(be.modelNames(), ", "))
+	}
+	return be, ms, nil
 }
 
 // resolveKernel materializes the requested kernel template.
@@ -342,7 +470,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	be, err := s.resolveBackend(req.Machine)
+	be, ms, err := s.resolveModel(req.Machine, req.Model)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, "%v", err)
 		return
@@ -353,37 +481,59 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	space := req.Space.space()
+	ms.advise.Add(1)
+	ms.touch()
 
-	// Content-addressed response key: everything the ranking depends on.
-	// Top and IncludeSource shape only the rendering, so they stay out of
-	// the key and a hit can serve any truncation.
-	key := Key("advise", be.machine.Name, kernelKey(k), advisor.BindingsKey(req.Bindings),
+	// Content-addressed response key: everything the ranking depends on,
+	// including the resolved model version (two versions of one platform
+	// rank differently). Top and IncludeSource shape only the rendering, so
+	// they stay out of the key and a hit can serve any truncation.
+	key := Key("advise", be.machine.Name, ms.name, kernelKey(k), advisor.BindingsKey(req.Bindings),
 		fmtInts(space.CPUThreads), fmtInts(space.GPUTeams), fmtInts(space.GPUThreads))
 
 	startReq := time.Now()
 	var recs []advisor.Recommendation
-	cached := false
+	cached, coalesced := false, false
 	if v, ok := s.adviseCache.Get(key); ok {
 		recs = v.([]advisor.Recommendation)
 		cached = true
 		s.counters.adviseHits.Add(1)
 	} else {
-		err := s.pool.Run(func() error {
-			var err error
-			recs, err = be.advisor.Advise(k, req.Bindings, space)
-			return err
+		// Collapse identical concurrent misses: one evaluation feeds every
+		// request that arrives while it is in flight.
+		v, shared, err := s.flights.Do(key, func() (any, error) {
+			var out []advisor.Recommendation
+			err := s.pool.Run(func() error {
+				var err error
+				out, err = ms.advisor.Advise(k, req.Bindings, space)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := checkFinite(out); err != nil {
+				return nil, err
+			}
+			s.adviseCache.Add(key, out)
+			return out, nil
 		})
 		if err != nil {
-			s.fail(w, http.StatusUnprocessableEntity, "advise %s on %s: %v", k.Name, be.machine.Name, err)
+			s.fail(w, http.StatusUnprocessableEntity, "advise %s on %s/%s: %v", k.Name, be.machine.Name, ms.name, err)
 			return
 		}
-		s.adviseCache.Add(key, recs)
+		recs = v.([]advisor.Recommendation)
+		if shared {
+			coalesced = true
+			s.counters.adviseCoalesced.Add(1)
+		}
 	}
 
 	resp := AdviseResponse{
 		Machine:   be.machine.Name,
+		Model:     ms.name,
 		Kernel:    k.Name,
 		Cached:    cached,
+		Coalesced: coalesced,
 		ElapsedMS: float64(time.Since(startReq).Microseconds()) / 1000,
 	}
 	n := len(recs)
@@ -403,6 +553,19 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		resp.Recommendations = append(resp.Recommendations, out)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// checkFinite rejects rankings carrying non-finite predictions — the
+// signature of a registry model whose checkpoint vanished or corrupted
+// under a live server (registry entries answer NaN rather than crash the
+// batcher). Failing the request keeps poisoned rankings out of the cache.
+func checkFinite(recs []advisor.Recommendation) error {
+	for _, r := range recs {
+		if math.IsNaN(r.PredictedUS) || math.IsInf(r.PredictedUS, 0) {
+			return fmt.Errorf("model produced a non-finite prediction (checkpoint unavailable?)")
+		}
+	}
+	return nil
 }
 
 // kindByName parses a variant name ("cpu", "gpu_collapse_mem", ...).
@@ -426,7 +589,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	be, err := s.resolveBackend(req.Machine)
+	be, ms, err := s.resolveModel(req.Machine, req.Model)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, "%v", err)
 		return
@@ -450,11 +613,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "threads must be positive")
 		return
 	}
+	ms.predict.Add(1)
+	ms.touch()
 
-	key := Key("predict", be.machine.Name, kernelKey(k), req.Variant,
+	key := Key("predict", be.machine.Name, ms.name, kernelKey(k), req.Variant,
 		fmt.Sprintf("g%d_t%d", req.Teams, req.Threads), advisor.BindingsKey(req.Bindings))
 	resp := PredictResponse{
-		Machine: be.machine.Name, Kernel: k.Name, Variant: req.Variant,
+		Machine: be.machine.Name, Model: ms.name, Kernel: k.Name, Variant: req.Variant,
 		Teams: req.Teams, Threads: req.Threads,
 	}
 	if v, ok := s.adviseCache.Get(key); ok {
@@ -463,27 +628,37 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	err = s.pool.Run(func() error {
-		src, err := variants.Generate(k, kind, req.Teams, req.Threads)
-		if err != nil {
+	v, shared, err := s.flights.Do(key, func() (any, error) {
+		var us float64
+		err := s.pool.Run(func() error {
+			src, err := variants.Generate(k, kind, req.Teams, req.Threads)
+			if err != nil {
+				return err
+			}
+			in := variants.Instance{
+				Kernel: k, Kind: kind, Teams: req.Teams, Threads: req.Threads,
+				Bindings: req.Bindings, Source: src,
+			}
+			us, err = ms.advisor.PredictInstanceUS(in)
 			return err
-		}
-		in := variants.Instance{
-			Kernel: k, Kind: kind, Teams: req.Teams, Threads: req.Threads,
-			Bindings: req.Bindings, Source: src,
-		}
-		us, err := be.advisor.PredictInstanceUS(in)
+		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		resp.PredictedUS = us
-		return nil
+		if math.IsNaN(us) || math.IsInf(us, 0) {
+			return nil, fmt.Errorf("model produced a non-finite prediction (checkpoint unavailable?)")
+		}
+		s.adviseCache.Add(key, us)
+		return us, nil
 	})
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "predict %s on %s: %v", k.Name, be.machine.Name, err)
+		s.fail(w, http.StatusUnprocessableEntity, "predict %s on %s/%s: %v", k.Name, be.machine.Name, ms.name, err)
 		return
 	}
-	s.adviseCache.Add(key, resp.PredictedUS)
+	if shared {
+		s.counters.adviseCoalesced.Add(1)
+	}
+	resp.PredictedUS = v.(float64)
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -508,4 +683,62 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+// ModelDesc is one entry of the /v1/models listing.
+type ModelDesc struct {
+	Platform  string  `json:"platform"`
+	Name      string  `json:"name"`
+	Default   bool    `json:"default"`
+	Level     string  `json:"level"`
+	Source    string  `json:"source,omitempty"`
+	Hidden    int     `json:"hidden,omitempty"`
+	Layers    int     `json:"layers,omitempty"`
+	Params    int     `json:"params,omitempty"`
+	Epochs    int     `json:"epochs,omitempty"`
+	ValRMSE   float64 `json:"val_rmse,omitempty"`
+	CreatedAt string  `json:"created_at,omitempty"` // RFC 3339
+}
+
+// ModelsResponse is the /v1/models payload.
+type ModelsResponse struct {
+	Models []ModelDesc `json:"models"`
+}
+
+// Models lists every served model version (the /v1/models payload), sorted
+// by (platform, name).
+func (s *Server) Models() ModelsResponse {
+	var resp ModelsResponse
+	for _, machine := range s.machineNames() {
+		be := s.backends[machine]
+		for _, name := range be.modelNames() {
+			ms := be.models[name]
+			d := ModelDesc{
+				Platform: machine,
+				Name:     name,
+				Default:  name == be.defaultName,
+				Level:    ms.info.Level.String(),
+				Source:   ms.info.Source,
+				Hidden:   ms.info.Hidden,
+				Layers:   ms.info.Layers,
+				Params:   ms.info.Params,
+				Epochs:   ms.info.Epochs,
+				ValRMSE:  ms.info.ValRMSE,
+			}
+			if !ms.info.CreatedAt.IsZero() {
+				d.CreatedAt = ms.info.CreatedAt.UTC().Format(time.RFC3339)
+			}
+			resp.Models = append(resp.Models, d)
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.counters.models.Add(1)
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.Models())
 }

@@ -12,6 +12,7 @@ import (
 	"paragraph/internal/dataset"
 	"paragraph/internal/gnn"
 	"paragraph/internal/hw"
+	"paragraph/internal/paragraph"
 )
 
 // oracleModel is a deterministic stand-in for a trained GNN: it predicts
@@ -371,8 +372,8 @@ func TestConcurrentAdviseTraffic(t *testing.T) {
 		t.Errorf("pool peak %d exceeds size %d", st.Pool.Peak, st.Pool.Size)
 	}
 	var batched uint64
-	for _, b := range st.Batchers {
-		batched += b.Samples
+	for _, m := range st.Models {
+		batched += m.Batcher.Samples
 	}
 	if batched == 0 {
 		t.Error("no samples flowed through the batchers")
@@ -389,5 +390,133 @@ func TestNewServerValidation(t *testing.T) {
 	b := Backend{Machine: hw.V100(), Model: oracleModel{}, Prep: testPrep()}
 	if _, err := NewServer([]Backend{b, b}, Options{}); err == nil {
 		t.Error("duplicate backend accepted")
+	}
+	d1 := Backend{Machine: hw.V100(), Model: oracleModel{}, Prep: testPrep(), Name: "a", Default: true}
+	d2 := Backend{Machine: hw.V100(), Model: oracleModel{}, Prep: testPrep(), Name: "b", Default: true}
+	if _, err := NewServer([]Backend{d1, d2}, Options{}); err == nil {
+		t.Error("two defaults for one platform accepted")
+	}
+	named := Backend{Machine: hw.V100(), Model: oracleModel{}, Prep: testPrep(), Name: "default"}
+	if _, err := NewServer([]Backend{named, d1}, Options{}); err == nil {
+		t.Error("explicit default shadowing a model named \"default\" accepted")
+	}
+}
+
+// biasedModel shifts the oracle's predictions so two versions of one
+// platform rank observably differently.
+type biasedModel struct{ bias float64 }
+
+func (m biasedModel) PredictBatch(ss []*gnn.Sample) []float64 {
+	out := oracleModel{}.PredictBatch(ss)
+	for i := range out {
+		out[i] += m.bias
+	}
+	return out
+}
+
+// newMultiModelServer serves one platform under two named versions.
+func newMultiModelServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer([]Backend{
+		{Machine: hw.V100(), Model: oracleModel{}, Prep: testPrep(), Name: "default"},
+		{Machine: hw.V100(), Model: biasedModel{bias: 0.05}, Prep: testPrep(), Name: "exp",
+			Info: &ModelInfo{Level: paragraph.LevelParaGraph, Source: "checkpoint",
+				Hidden: 24, Layers: 3, Epochs: 9, ValRMSE: 0.2}},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestMultiModelRouting(t *testing.T) {
+	s := newMultiModelServer(t)
+
+	req := adviseReq("NVIDIA V100 (GPU)")
+	var def AdviseResponse
+	do(t, s, http.MethodPost, "/v1/advise", req, &def)
+	if def.Model != "default" {
+		t.Errorf("default request resolved to %q", def.Model)
+	}
+
+	req.Model = "exp"
+	var exp AdviseResponse
+	do(t, s, http.MethodPost, "/v1/advise", req, &exp)
+	if exp.Model != "exp" {
+		t.Errorf("exp request resolved to %q", exp.Model)
+	}
+	if exp.Cached {
+		t.Error("exp request hit the default model's cache entry")
+	}
+	// Same ranking order (a constant bias preserves order) but different
+	// predicted values: proof the request reached the other model.
+	if exp.Recommendations[0].PredictedUS == def.Recommendations[0].PredictedUS {
+		t.Error("exp and default predictions identical; routing broken")
+	}
+
+	// The alias and its resolved name share a cache entry.
+	req.Model = "default"
+	var aliased AdviseResponse
+	do(t, s, http.MethodPost, "/v1/advise", req, &aliased)
+	if !aliased.Cached {
+		t.Error("explicit default name missed the alias's cache entry")
+	}
+
+	req.Model = "nope"
+	if rec := do(t, s, http.MethodPost, "/v1/advise", req, nil); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown model = %d, want 404", rec.Code)
+	}
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	s := newMultiModelServer(t)
+	var resp ModelsResponse
+	if rec := do(t, s, http.MethodGet, "/v1/models", nil, &resp); rec.Code != http.StatusOK {
+		t.Fatalf("models: %d", rec.Code)
+	}
+	if len(resp.Models) != 2 {
+		t.Fatalf("models = %d, want 2", len(resp.Models))
+	}
+	byName := map[string]ModelDesc{}
+	for _, m := range resp.Models {
+		byName[m.Name] = m
+	}
+	if !byName["default"].Default || byName["exp"].Default {
+		t.Errorf("default flags wrong: %+v", resp.Models)
+	}
+	if byName["exp"].Source != "checkpoint" || byName["exp"].Hidden != 24 || byName["exp"].Level != "ParaGraph" {
+		t.Errorf("exp metadata = %+v", byName["exp"])
+	}
+	if rec := do(t, s, http.MethodPost, "/v1/models", nil, nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/models = %d", rec.Code)
+	}
+}
+
+func TestPerModelStats(t *testing.T) {
+	s := newMultiModelServer(t)
+	req := adviseReq("NVIDIA V100 (GPU)")
+	do(t, s, http.MethodPost, "/v1/advise", req, nil)
+	req.Model = "exp"
+	do(t, s, http.MethodPost, "/v1/advise", req, nil)
+	do(t, s, http.MethodPost, "/v1/advise", req, nil) // cache hit, still counted
+
+	st := s.Stats()
+	if len(st.Models) != 2 {
+		t.Fatalf("stats models = %d, want 2", len(st.Models))
+	}
+	byName := map[string]ModelStats{}
+	for _, m := range st.Models {
+		byName[m.Name] = m
+	}
+	if byName["default"].Advise != 1 || byName["exp"].Advise != 2 {
+		t.Errorf("per-model advise counts = %d/%d, want 1/2",
+			byName["default"].Advise, byName["exp"].Advise)
+	}
+	if byName["exp"].LastUsedUnix == 0 {
+		t.Error("exp last-used not recorded")
+	}
+	if byName["default"].Batcher.Samples == 0 || byName["exp"].Batcher.Samples == 0 {
+		t.Error("per-model batcher stats empty")
 	}
 }

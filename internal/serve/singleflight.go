@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup collapses concurrent calls that share a key into one
+// execution: the first caller (the leader) runs fn, every caller that
+// arrives while it is in flight blocks and receives the leader's result.
+// Under a traffic spike of identical cache misses this turns N expensive
+// grid evaluations into one — the classic singleflight pattern, local so
+// the module stays dependency-free.
+//
+// Results are not retained after the flight lands; the response caches own
+// memoization, the group only dedupes the in-flight window.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{} // closed when val/err are final
+	waiters atomic.Int32  // callers blocked on this flight (tests use it to sequence)
+	val     any
+	err     error
+}
+
+// Do runs fn for key unless an identical call is already in flight, in
+// which case it waits for that call instead. shared reports whether the
+// result came from another caller's execution.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*flightCall{}
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters.Add(1)
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	// Deregister before publishing: a caller arriving after close must
+	// start a fresh flight (or hit the cache), never read a stale entry.
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// waiting sums the callers currently blocked on in-flight calls.
+func (g *flightGroup) waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, c := range g.calls {
+		n += int(c.waiters.Load())
+	}
+	return n
+}

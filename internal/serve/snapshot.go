@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"paragraph/internal/advisor"
+)
+
+// Cache persistence: the advise-response cache (ranked grids and single
+// predictions) is the service's hottest artifact — every entry stands for a
+// full parse→encode→predict sweep — so SnapshotCache serializes it and
+// RestoreCache refills it, letting a restarted process answer repeat
+// traffic as cache hits immediately instead of re-earning its cache. Keys
+// are the content-addressed request hashes, which are stable across
+// processes by construction. The encode cache is deliberately not
+// persisted: encoded graphs are big, rebuildable, and refill quickly once
+// responses are warm.
+
+// snapshotVersion guards the snapshot schema; bump on incompatible change.
+const snapshotVersion = 1
+
+// recSnap is the persisted form of one advisor.Recommendation. Kind travels
+// by name so snapshots survive resorderings of the variants.Kind enum.
+type recSnap struct {
+	Kind        string  `json:"kind"`
+	Teams       int     `json:"teams,omitempty"`
+	Threads     int     `json:"threads"`
+	PredictedUS float64 `json:"predicted_us"`
+	Source      string  `json:"source,omitempty"`
+}
+
+type adviseSnap struct {
+	Key  string    `json:"key"`
+	Recs []recSnap `json:"recs"`
+}
+
+type predictSnap struct {
+	Key string  `json:"key"`
+	US  float64 `json:"us"`
+}
+
+type cacheSnapshot struct {
+	Version int           `json:"version"`
+	Advise  []adviseSnap  `json:"advise"`
+	Predict []predictSnap `json:"predict"`
+}
+
+// SnapshotCache writes the advise-response cache to w. Concurrent requests
+// keep running; the snapshot is a consistent-enough point-in-time copy
+// (each shard is walked under its lock).
+func (s *Server) SnapshotCache(w io.Writer) error {
+	snap := cacheSnapshot{Version: snapshotVersion}
+	for _, item := range s.adviseCache.Items() {
+		switch v := item.Val.(type) {
+		case []advisor.Recommendation:
+			as := adviseSnap{Key: item.Key, Recs: make([]recSnap, len(v))}
+			for i, r := range v {
+				as.Recs[i] = recSnap{
+					Kind: r.Kind.String(), Teams: r.Teams, Threads: r.Threads,
+					PredictedUS: r.PredictedUS, Source: r.Source,
+				}
+			}
+			snap.Advise = append(snap.Advise, as)
+		case float64:
+			snap.Predict = append(snap.Predict, predictSnap{Key: item.Key, US: v})
+		}
+	}
+	return json.NewEncoder(w).Encode(snap)
+}
+
+// RestoreCache refills the advise-response cache from a SnapshotCache
+// stream, returning how many entries were restored. Entries are re-added
+// oldest-first so the snapshot's recency order survives the LRU. Restoring
+// on top of a warm cache is safe: keys are content hashes, so collisions
+// are identical answers.
+func (s *Server) RestoreCache(r io.Reader) (int, error) {
+	var snap cacheSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("serve: decoding cache snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return 0, fmt.Errorf("serve: unsupported cache snapshot version %d", snap.Version)
+	}
+	n := 0
+	for i := len(snap.Advise) - 1; i >= 0; i-- {
+		as := snap.Advise[i]
+		recs := make([]advisor.Recommendation, len(as.Recs))
+		ok := true
+		for j, rs := range as.Recs {
+			kind, err := kindByName(rs.Kind)
+			if err != nil {
+				ok = false // unknown variant from a future build: drop entry
+				break
+			}
+			recs[j] = advisor.Recommendation{
+				Kind: kind, Teams: rs.Teams, Threads: rs.Threads,
+				PredictedUS: rs.PredictedUS, Source: rs.Source,
+			}
+		}
+		if !ok {
+			continue
+		}
+		s.adviseCache.Add(as.Key, recs)
+		n++
+	}
+	for i := len(snap.Predict) - 1; i >= 0; i-- {
+		s.adviseCache.Add(snap.Predict[i].Key, snap.Predict[i].US)
+		n++
+	}
+	return n, nil
+}
+
+// SaveCacheFile snapshots the cache to path atomically (temp file in the
+// same directory, then rename), so a crash mid-snapshot never truncates the
+// previous good snapshot.
+func (s *Server) SaveCacheFile(path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name())
+	if err := s.SnapshotCache(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
+// LoadCacheFile restores the cache from a SaveCacheFile snapshot. A missing
+// file is not an error (first boot): it returns (0, nil).
+func (s *Server) LoadCacheFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return s.RestoreCache(f)
+}

@@ -7,16 +7,31 @@ import (
 
 // requestCounters tracks per-endpoint traffic with atomic counters.
 type requestCounters struct {
-	advise     atomic.Uint64
-	predict    atomic.Uint64
-	health     atomic.Uint64
-	stats      atomic.Uint64
-	errors     atomic.Uint64
-	adviseHits atomic.Uint64 // advise responses answered from cache
+	advise          atomic.Uint64
+	predict         atomic.Uint64
+	health          atomic.Uint64
+	stats           atomic.Uint64
+	models          atomic.Uint64
+	errors          atomic.Uint64
+	adviseHits      atomic.Uint64 // advise responses answered from cache
+	adviseCoalesced atomic.Uint64 // responses that shared another request's evaluation
+}
+
+// ModelStats is the per-model-version slice of /v1/stats: traffic routed to
+// one (platform, version) pair and its batcher's counters.
+type ModelStats struct {
+	Platform     string       `json:"platform"`
+	Name         string       `json:"name"`
+	Default      bool         `json:"default"`
+	Advise       uint64       `json:"advise"`
+	Predict      uint64       `json:"predict"`
+	LastUsedUnix int64        `json:"last_used_unix,omitempty"` // 0 = never
+	Batcher      BatcherStats `json:"batcher"`
 }
 
 // Stats is the /v1/stats payload: a full snapshot of the service's caches,
-// batching, pooling and traffic counters.
+// batching, pooling, singleflight and traffic counters, plus the per-model
+// breakdown.
 type Stats struct {
 	UptimeSeconds float64  `json:"uptime_seconds"`
 	Machines      []string `json:"machines"`
@@ -26,15 +41,19 @@ type Stats struct {
 		Predict uint64 `json:"predict"`
 		Healthz uint64 `json:"healthz"`
 		Stats   uint64 `json:"stats"`
+		Models  uint64 `json:"models"`
 		Errors  uint64 `json:"errors"`
 	} `json:"requests"`
 
-	AdviseCacheHits uint64     `json:"advise_cache_hits"`
-	AdviseCache     CacheStats `json:"advise_cache"`
-	EncodeCache     CacheStats `json:"encode_cache"`
+	AdviseCacheHits uint64 `json:"advise_cache_hits"`
+	// Coalesced counts requests answered by an identical concurrent
+	// request's evaluation (singleflight) instead of their own.
+	Coalesced   uint64     `json:"coalesced"`
+	AdviseCache CacheStats `json:"advise_cache"`
+	EncodeCache CacheStats `json:"encode_cache"`
 
-	Batchers map[string]BatcherStats `json:"batchers"`
-	Pool     PoolStats               `json:"pool"`
+	Models []ModelStats `json:"models"`
+	Pool   PoolStats    `json:"pool"`
 }
 
 // snapshot assembles the stats payload from the server's live components.
@@ -45,13 +64,26 @@ func (s *Server) snapshot() Stats {
 	st.Requests.Predict = s.counters.predict.Load()
 	st.Requests.Healthz = s.counters.health.Load()
 	st.Requests.Stats = s.counters.stats.Load()
+	st.Requests.Models = s.counters.models.Load()
 	st.Requests.Errors = s.counters.errors.Load()
 	st.AdviseCacheHits = s.counters.adviseHits.Load()
+	st.Coalesced = s.counters.adviseCoalesced.Load()
 	st.AdviseCache = s.adviseCache.Stats()
 	st.EncodeCache = s.encodeCache.Stats()
-	st.Batchers = map[string]BatcherStats{}
-	for name, be := range s.backends {
-		st.Batchers[name] = be.batcher.Stats()
+	for _, machine := range st.Machines {
+		be := s.backends[machine]
+		for _, name := range be.modelNames() {
+			ms := be.models[name]
+			st.Models = append(st.Models, ModelStats{
+				Platform:     machine,
+				Name:         name,
+				Default:      name == be.defaultName,
+				Advise:       ms.advise.Load(),
+				Predict:      ms.predict.Load(),
+				LastUsedUnix: ms.lastUsed.Load(),
+				Batcher:      ms.batcher.Stats(),
+			})
+		}
 	}
 	st.Pool = s.pool.Stats()
 	return st
