@@ -336,7 +336,7 @@ func BenchmarkGNNTrainStep(b *testing.B) {
 	}
 }
 
-// --- design-choice ablation benchmarks (DESIGN.md) ---
+// --- design-choice ablation benchmarks ---
 
 // BenchmarkAblationGraphLevels compares forward-pass cost across the three
 // representation levels: the augmentation's edges cost compute; weights are
@@ -464,6 +464,108 @@ func BenchmarkServeAdviseCached(b *testing.B) {
 			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || !resp.Cached {
 				b.Fatalf("warm request not cached: %s", rec.Body.String())
 			}
+		}
+	}
+}
+
+// benchCluster boots a two-peer consistent-hash tier over loopback HTTP
+// (identical model seeds, so the peers are interchangeable) and returns the
+// peer base URLs.
+func benchCluster(b *testing.B) [2]string {
+	b.Helper()
+	var urls [2]string
+	var srvs [2]*serve.Server
+	for i := range srvs {
+		srvs[i] = benchServer(b)
+		hs := httptest.NewServer(srvs[i].Handler())
+		b.Cleanup(hs.Close)
+		urls[i] = hs.URL
+	}
+	for i := range srvs {
+		if err := srvs[i].EnableCluster(serve.ClusterConfig{Self: urls[i], Peers: urls[:]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return urls
+}
+
+// benchClusterAdvise posts one advise over real HTTP (cluster benchmarks
+// must pay the wire, unlike the httptest.Recorder path).
+func benchClusterAdvise(b *testing.B, base string, n float64) serve.AdviseResponse {
+	b.Helper()
+	body, err := json.Marshal(serve.AdviseRequest{
+		Kernel:   "matmul",
+		Machine:  "NVIDIA V100 (GPU)",
+		Bindings: map[string]float64{"n": n},
+		Space:    &serve.SpaceSpec{GPUTeams: []int{64, 128}, GPUThreads: []int{128}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/advise", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out serve.AdviseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("advise: %d", resp.StatusCode)
+	}
+	return out
+}
+
+// benchClusterFindKeys probes the tier for one binding owned by the first
+// peer and one owned by the second, so the local and forwarded benchmarks
+// measure a deliberately-routed request rather than a coin flip.
+func benchClusterFindKeys(b *testing.B, urls [2]string) (localN, forwardedN float64) {
+	b.Helper()
+	localN, forwardedN = -1, -1
+	for n := 64.0; n < 64+512; n++ {
+		owner := benchClusterAdvise(b, urls[0], n).ServedBy
+		switch owner {
+		case urls[0]:
+			if localN < 0 {
+				localN = n
+			}
+		case urls[1]:
+			if forwardedN < 0 {
+				forwardedN = n
+			}
+		}
+		if localN >= 0 && forwardedN >= 0 {
+			return localN, forwardedN
+		}
+	}
+	b.Fatal("no binding found for both owners in 512 probes")
+	return 0, 0
+}
+
+// BenchmarkServeAdviseClusterLocal measures a warm advise answered by the
+// peer that received it (ring owner == receiver): one HTTP round trip plus
+// a response-cache hit. Baseline for the forwarded variant below.
+func BenchmarkServeAdviseClusterLocal(b *testing.B) {
+	urls := benchCluster(b)
+	localN, _ := benchClusterFindKeys(b, urls)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchClusterAdvise(b, urls[0], localN)
+	}
+}
+
+// BenchmarkServeAdviseClusterForwarded measures the same warm advise when
+// the receiving peer does not own the key: receiver HTTP round trip, ring
+// lookup, proxy hop to the owner, owner's cache hit. The delta against
+// ClusterLocal is the price of cache coherence across the tier.
+func BenchmarkServeAdviseClusterForwarded(b *testing.B) {
+	urls := benchCluster(b)
+	_, forwardedN := benchClusterFindKeys(b, urls)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := benchClusterAdvise(b, urls[0], forwardedN); i == 0 && out.ServedBy != urls[1] {
+			b.Fatalf("probe said peer B owns n=%v but served_by=%s", forwardedN, out.ServedBy)
 		}
 	}
 }

@@ -1,5 +1,6 @@
 // Command experiments regenerates the paper's tables and figures against
-// the simulated substrate. See DESIGN.md for the experiment index.
+// the simulated substrate; internal/experiments holds one function per
+// reproduced artifact.
 //
 // Usage:
 //

@@ -7,12 +7,19 @@
 // snapshotted periodically and on shutdown, so a restarted process answers
 // repeat traffic warm.
 //
+// With -self and -peers, N serve processes form a consistent-hash sharded
+// tier (internal/shard): each advise/predict cache key has one owning
+// peer, non-owners proxy misses to the owner, and an unreachable owner
+// degrades to local serving instead of failing. Every peer must be started
+// with the same -peers list and the same checkpoints.
+//
 // Usage:
 //
 //	serve [-addr :8080] [-model-dir DIR | -scale tiny|small|full]
 //	      [-platforms "IBM POWER9 (CPU),NVIDIA V100 (GPU)"]
 //	      [-epochs N] [-points N]
 //	      [-cache-file PATH] [-cache-snapshot 5m]
+//	      [-self http://host:8080 -peers http://host:8080,http://host2:8080]
 //
 // Endpoints:
 //
@@ -20,10 +27,12 @@
 //	POST /v1/predict  predict one variant's runtime
 //	GET  /v1/healthz  liveness and served machines
 //	GET  /v1/models   served model versions per platform
-//	GET  /v1/stats    cache/batcher/pool/per-model counters
+//	GET  /v1/stats    cache/batcher/pool/per-model/cluster counters
+//	GET  /v1/ring     cluster membership, ownership, forward counters
 //
 // On SIGINT/SIGTERM the server stops accepting requests, drains in-flight
-// batches, flushes the cache snapshot, and exits.
+// batches, flushes the cache snapshot, and exits. docs/API.md documents the
+// wire format; docs/OPERATIONS.md covers running it.
 package main
 
 import (
@@ -157,10 +166,36 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 	batchWait := fs.Duration("batch-wait", 0, "micro-batching window (0 = default)")
 	poolSize := fs.Int("pool", 0, "max evaluations in flight (0 = GOMAXPROCS)")
 	gridWorkers := fs.Int("grid-workers", 0, "per-advise grid fan-out (0 = GOMAXPROCS)")
+	self := fs.String("self", "", "cluster mode: this process's base URL as peers reach it (http://host:port)")
+	peersFlag := fs.String("peers", "", "cluster mode: comma-separated base URLs of every peer (including -self)")
+	vnodes := fs.Int("ring-vnodes", 0, "cluster mode: virtual nodes per peer on the hash ring (0 = default)")
+	forwardTimeout := fs.Duration("forward-timeout", 0, "cluster mode: per-forwarded-request timeout (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return nil, serveConfig{}, err
 	}
 	cfg := serveConfig{addr: *addr, cacheFile: *cacheFile, snapshotEvery: *snapshotEvery}
+
+	// Cluster flags are validated before the (possibly expensive) backend
+	// build so a bad invocation fails fast instead of after training.
+	clusterMode := *peersFlag != "" || *self != ""
+	var peers []string
+	if clusterMode {
+		if *self == "" || *peersFlag == "" {
+			return nil, serveConfig{}, fmt.Errorf("cluster mode needs both -self and -peers")
+		}
+		if _, err := serve.NormalizePeerURL(*self); err != nil {
+			return nil, serveConfig{}, fmt.Errorf("-self: %w", err)
+		}
+		for _, p := range strings.Split(*peersFlag, ",") {
+			if p = strings.TrimSpace(p); p == "" {
+				continue
+			}
+			if _, err := serve.NormalizePeerURL(p); err != nil {
+				return nil, serveConfig{}, fmt.Errorf("-peers: %w", err)
+			}
+			peers = append(peers, p)
+		}
+	}
 
 	wanted, err := platformSet(*platforms)
 	if err != nil {
@@ -188,7 +223,31 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 	if err != nil {
 		return nil, serveConfig{}, err
 	}
+	if clusterMode {
+		if err := srv.EnableCluster(serve.ClusterConfig{
+			Self:           *self,
+			Peers:          peers,
+			VNodes:         *vnodes,
+			ForwardTimeout: *forwardTimeout,
+		}); err != nil {
+			srv.Close()
+			return nil, serveConfig{}, err
+		}
+		ring := srv.Ring()
+		fmt.Fprintf(w, "cluster mode: %d peers on a %d-vnode ring, self=%s (%.0f%% of key space)\n",
+			len(ring.Members), ring.VNodes, ring.Self, selfOwnership(ring)*100)
+	}
 	return srv, cfg, nil
+}
+
+// selfOwnership extracts this peer's key-space fraction from the ring view.
+func selfOwnership(ring serve.RingResponse) float64 {
+	for _, m := range ring.Members {
+		if m.Self {
+			return m.Ownership
+		}
+	}
+	return 0
 }
 
 // platformSet parses the -platforms flag into a validated name set.

@@ -319,6 +319,12 @@ func TestBuildServerFlagErrors(t *testing.T) {
 		{"-platforms", ""},
 		{"-badflag"},
 		{"-model-dir", "/nonexistent/registry"},
+		// Cluster flags fail before any model training.
+		{"-peers", "http://127.0.0.1:1"},
+		{"-self", "http://127.0.0.1:1"},
+		{"-self", "not-a-url", "-peers", "http://127.0.0.1:1"},
+		{"-self", "http://127.0.0.1:1", "-peers", "ftp://127.0.0.1:2"},
+		{"-self", "http://127.0.0.1:1", "-peers", "http://127.0.0.1:2/suffix"},
 	}
 	for _, args := range cases {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
@@ -326,6 +332,94 @@ func TestBuildServerFlagErrors(t *testing.T) {
 				t.Errorf("buildServer(%v) accepted", args)
 			}
 		})
+	}
+}
+
+// TestClusterFlagsFormWorkingTier is the cmd-level acceptance check for
+// -self/-peers: two buildServer instances booted from the same checkpoints
+// forward over the ring, answer with identical rankings regardless of the
+// receiving peer, and losing a peer degrades to local serving without
+// failures.
+func TestClusterFlagsFormWorkingTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the checkpoint fixture in -short mode")
+	}
+	dir := trainCheckpoints(t)
+
+	// Listeners first: -self must carry each process's real address.
+	lns := make([]net.Listener, 2)
+	urls := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	peers := strings.Join(urls, ",")
+	srvs := make([]*serve.Server, 2)
+	hss := make([]*http.Server, 2)
+	for i := range srvs {
+		srv, _, err := buildServer([]string{
+			"-model-dir", dir, "-self", urls[i], "-peers", peers,
+		}, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		srvs[i] = srv
+		hss[i] = &http.Server{Handler: srv.Handler()}
+		hs := hss[i]
+		go hs.Serve(lns[i])
+		t.Cleanup(func() { hs.Close() })
+	}
+
+	forwarded := false
+	for i := 0; i < 8; i++ {
+		req := serve.AdviseRequest{
+			Kernel:   "matmul",
+			Machine:  "NVIDIA V100 (GPU)",
+			Bindings: map[string]float64{"n": float64(128 + 32*i)},
+			Space:    &serve.SpaceSpec{GPUTeams: []int{64, 128}, GPUThreads: []int{128}},
+		}
+		var viaA, viaB serve.AdviseResponse
+		post(t, urls[0]+"/v1/advise", req, &viaA)
+		post(t, urls[1]+"/v1/advise", req, &viaB)
+		aj, _ := json.Marshal(viaA.Recommendations)
+		bj, _ := json.Marshal(viaB.Recommendations)
+		if !bytes.Equal(aj, bj) {
+			t.Fatalf("n=%v: rankings differ by receiving peer:\n%s\n%s", req.Bindings["n"], aj, bj)
+		}
+		if viaA.ServedBy != urls[0] {
+			forwarded = true
+		}
+	}
+	if !forwarded {
+		t.Error("no request was forwarded between the two peers")
+	}
+	ring := srvs[0].Ring()
+	if !ring.Enabled || len(ring.Members) != 2 {
+		t.Fatalf("ring = %+v", ring)
+	}
+
+	// Degraded mode: kill peer B outright (listener and every open
+	// connection); peer A keeps answering B-owned keys itself.
+	hss[1].Close()
+	for i := 0; i < 16; i++ {
+		var resp serve.AdviseResponse
+		post(t, urls[0]+"/v1/advise", serve.AdviseRequest{
+			Kernel:   "matmul",
+			Machine:  "NVIDIA V100 (GPU)",
+			Bindings: map[string]float64{"n": float64(4096 + 32*i)},
+			Space:    &serve.SpaceSpec{GPUTeams: []int{64, 128}, GPUThreads: []int{128}},
+		}, &resp)
+		if resp.ServedBy != urls[0] {
+			t.Fatalf("request after peer loss served by %q, want the surviving peer %q", resp.ServedBy, urls[0])
+		}
+	}
+	if srvs[0].Ring().LocalFallbacks == 0 {
+		t.Error("16 fresh keys after peer loss and no local fallback recorded")
 	}
 }
 

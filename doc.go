@@ -6,10 +6,33 @@
 //
 // The module root holds only the benchmark harness (bench_test.go), with
 // one benchmark per table and figure of the paper's evaluation plus
-// serving-path benchmarks. The implementation lives under internal/ — see
-// DESIGN.md for the system inventory and README.md for the tour. Entry
-// points are under cmd/ (paragraph, datagen, train, experiments, serve)
-// and examples/.
+// serving-path benchmarks. README.md is the tour; docs/API.md and
+// docs/OPERATIONS.md document the HTTP service. Entry points are under
+// cmd/ (paragraph, datagen, train, experiments, serve) and examples/.
+//
+// # Package tree
+//
+//	internal/
+//	  clex, cparse, cast     C subset lexer, parser, Clang-style AST
+//	  omp                    OpenMP directive and clause model
+//	  analysis               static analyses (constant folding, array sizes)
+//	  graph                  typed, weighted multigraph structure
+//	  paragraph              the paper's representation: AST → ParaGraph
+//	  apps, progen           Table I benchmark suite; random kernel generator
+//	  variants               OpenMP code transformations (the variant grid)
+//	  hw, sim, cluster       machine models, analytical runtime simulator,
+//	                         batch-scheduled measurement substrate
+//	  dataset                Figure 3 data assembly, scalers, splits
+//	  tensor, autodiff, nn   dense kernels, reverse-mode tapes, NN blocks
+//	  gnn                    the RGAT cost model (train + batched inference)
+//	  compoff, metrics       COMPOFF baseline; evaluation measures
+//	  experiments            regenerates the paper's tables and figures
+//	  advisor                variant generation → prediction → ranking
+//	  registry               versioned model checkpoints (weights + manifest)
+//	  serve                  the HTTP service: caches, batching, pool,
+//	                         singleflight, snapshots, cluster routing
+//	  shard                  consistent-hash ring + peer forwarder backing
+//	                         serve's cluster mode
 //
 // # Serving
 //
@@ -21,7 +44,8 @@
 //	POST /v1/predict  predict one variant's runtime
 //	GET  /v1/healthz  liveness and served machines
 //	GET  /v1/models   served model versions per platform
-//	GET  /v1/stats    cache/batcher/pool/per-model counters
+//	GET  /v1/stats    cache/batcher/pool/per-model/cluster counters
+//	GET  /v1/ring     cluster membership, ownership, forward counters
 //
 // Models come from a checkpoint registry (internal/registry): `train
 // -save-dir DIR` persists each trained model as weights plus a JSON
@@ -53,4 +77,16 @@
 // drains in-flight batches, then flushes — so a restarted process answers
 // previously-cached requests as hits immediately. examples/serveclient
 // shows the client side end to end.
+//
+// # Cluster mode
+//
+// Because the cache keys are content-addressed, N serve processes started
+// with -self and -peers form a consistent-hash sharded tier
+// (internal/shard): each key has one owning peer, non-owners proxy misses
+// to the owner (so the owner's cache and singleflight absorb all traffic
+// for its keys and aggregate cache capacity scales with N), and an
+// unreachable owner degrades to local serving rather than failing the
+// request. GET /v1/ring reports membership, exact ownership fractions and
+// forward counters; adding or removing a peer moves only ~1/N of the key
+// space.
 package paragraph

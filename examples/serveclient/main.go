@@ -11,6 +11,12 @@
 // file and restoring it into a second service instance to show a warm
 // restart, and finally printing the /v1/stats counters.
 //
+// It closes with the multi-peer walkthrough: two service instances booted
+// from the same checkpoints join a consistent-hash ring (what
+// `serve -self -peers` does), requests sent to one peer are forwarded to
+// whichever peer owns their cache key, and GET /v1/ring shows the
+// membership, per-peer ownership fractions and forward counters.
+//
 // The registry layout mirrors what `train -save-dir DIR` writes and
 // `serve -model-dir DIR -cache-file CACHE` consumes:
 //
@@ -47,11 +53,11 @@ func main() {
 
 	base := *url
 	local := base == ""
-	var warmRestart func(serve.AdviseRequest) error
+	var warmRestart, clusterDemo func(serve.AdviseRequest) error
 	if local {
 		var stop func()
 		var err error
-		base, stop, warmRestart, err = startLocalService()
+		base, stop, warmRestart, clusterDemo, err = startLocalService()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -132,6 +138,9 @@ func main() {
 		if err := warmRestart(req); err != nil {
 			log.Fatal(err)
 		}
+		if err := clusterDemo(req); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 
@@ -141,26 +150,27 @@ func main() {
 // warmRestart runs the `-cache-file` kill/restart drill: snapshot the first
 // instance's response cache, build a second instance from the same
 // checkpoints, restore the snapshot into it, and replay a request to show
-// it answers as a cache hit.
-func startLocalService() (base string, stop func(), warmRestart func(serve.AdviseRequest) error, err error) {
+// it answers as a cache hit. clusterDemo runs the `serve -self -peers`
+// walkthrough: a two-peer consistent-hash tier over the same checkpoints.
+func startLocalService() (base string, stop func(), warmRestart, clusterDemo func(serve.AdviseRequest) error, err error) {
 	scale := experiments.Tiny()
 	scale.Epochs = 2
 	scale.MaxPerPlatform = 60
 	fmt.Println("training a micro V100 cost model...")
 	tr, err := experiments.NewRunner(scale).Trained(hw.V100(), paragraph.LevelParaGraph)
 	if err != nil {
-		return "", nil, nil, err
+		return "", nil, nil, nil, err
 	}
 
 	// Persist it under two version names — in production these would be
 	// separate training runs (scales, levels, A/B candidates).
 	dir, err := os.MkdirTemp("", "paragraph-registry-*")
 	if err != nil {
-		return "", nil, nil, err
+		return "", nil, nil, nil, err
 	}
-	fail := func(err error) (string, func(), func(serve.AdviseRequest) error, error) {
+	fail := func(err error) (string, func(), func(serve.AdviseRequest) error, func(serve.AdviseRequest) error, error) {
 		os.RemoveAll(dir)
-		return "", nil, nil, err
+		return "", nil, nil, nil, err
 	}
 	info := registry.TrainInfo{
 		Scale: scale.Name, Epochs: scale.Epochs,
@@ -240,7 +250,66 @@ func startLocalService() (base string, stop func(), warmRestart func(serve.Advis
 			n, resp.Cached)
 		return nil
 	}
-	return "http://" + ln.Addr().String(), stop, warmRestart, nil
+
+	// The multi-peer walkthrough: boot two instances from the same
+	// checkpoints, join them on a consistent-hash ring (`serve -self
+	// -peers`), and watch requests route to whichever peer owns their cache
+	// key — the tier answers identically no matter which peer the client
+	// hits, and each key is cached exactly once across the cluster.
+	clusterDemo = func(req serve.AdviseRequest) error {
+		fmt.Println("\ncluster mode (`serve -self -peers`): two peers, one hash ring")
+		var urls [2]string
+		var srvs [2]*serve.Server
+		for i := range srvs {
+			srv, err := serve.NewServer(backends, serve.Options{})
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			pln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			phs := &http.Server{Handler: srv.Handler()}
+			go phs.Serve(pln)
+			defer phs.Close()
+			srvs[i] = srv
+			urls[i] = "http://" + pln.Addr().String()
+		}
+		for i := range srvs {
+			if err := srvs[i].EnableCluster(serve.ClusterConfig{Self: urls[i], Peers: urls[:]}); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("peer A = %s\npeer B = %s\nall requests go to peer A:\n", urls[0], urls[1])
+		for i := 0; i < 6; i++ {
+			req.Bindings = map[string]float64{"n": float64(256 + 128*i)}
+			resp, err := advise(urls[0], req)
+			if err != nil {
+				return err
+			}
+			routed := "served locally"
+			if resp.ServedBy != urls[0] {
+				routed = "forwarded to peer B (ring owner)"
+			}
+			fmt.Printf("  n=%-5.0f -> %s\n", req.Bindings["n"], routed)
+		}
+		var ring serve.RingResponse
+		if err := getJSON(urls[0]+"/v1/ring", &ring); err != nil {
+			return err
+		}
+		fmt.Println("peer A's GET /v1/ring:")
+		for _, m := range ring.Members {
+			who := "peer"
+			if m.Self {
+				who = "self"
+			}
+			fmt.Printf("  %s %s owns %.0f%% of the key space, %d requests forwarded to it\n",
+				who, m.Peer, m.Ownership*100, m.Forwards)
+		}
+		return nil
+	}
+	return "http://" + ln.Addr().String(), stop, warmRestart, clusterDemo, nil
 }
 
 func advise(base string, req serve.AdviseRequest) (*serve.AdviseResponse, error) {

@@ -1,9 +1,8 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation (§IV–V). A Runner caches the expensive shared artifacts —
 // collected platform datasets, prepared samples, trained models — so the
-// table/figure functions compose without repeating work. The experiment
-// index in DESIGN.md maps each function here to the paper artifact it
-// reproduces.
+// table/figure functions compose without repeating work. Each exported
+// table/figure function names the paper artifact it reproduces.
 package experiments
 
 import (

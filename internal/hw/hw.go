@@ -2,7 +2,7 @@
 // paper evaluates on: IBM POWER9 and NVIDIA V100 (ORNL Summit), and AMD EPYC
 // 7401 and AMD MI50 (LLNL Corona). The models are calibrated from public
 // datasheets; they stand in for the real clusters, which this reproduction
-// cannot access (see DESIGN.md, substitution table).
+// cannot access (internal/sim consumes them as the measurement substrate).
 package hw
 
 import "fmt"

@@ -1,12 +1,21 @@
 // Package serve turns the one-shot advisor pipeline into a long-running
 // service: an HTTP/JSON API (POST /v1/advise, POST /v1/predict, GET
-// /v1/healthz, GET /v1/stats) answered from shared trained cost models.
-// Three cooperating layers do the scaling work: a content-addressed sharded
-// LRU cache memoizes the parse→build→encode pipeline and whole advise
-// responses; a micro-batching queue coalesces concurrently-arriving samples
-// into gnn.Model.PredictBatch calls; and a bounded worker pool caps the
-// advise evaluations in flight while each evaluation fans its variant grid
-// across goroutines (internal/advisor).
+// /v1/healthz, /v1/stats, /v1/models, /v1/ring) answered from shared cost
+// models — trained at startup or loaded as registry checkpoints
+// (internal/registry), several named versions per platform behind a
+// "default" alias.
+//
+// The scaling layers, in request order: a content-addressed sharded LRU
+// cache memoizes whole advise responses and the parse→build→encode
+// pipeline behind them; identical concurrent misses collapse into one
+// evaluation (singleflight); a bounded worker pool caps evaluations in
+// flight while each fans its variant grid across goroutines
+// (internal/advisor); and a per-model micro-batching queue coalesces
+// concurrently-arriving samples into gnn.Model.PredictBatch calls. The
+// advise-response cache can be snapshotted and restored across restarts
+// (snapshot.go), and EnableCluster shards the whole tier across processes
+// with a consistent-hash ring over the cache keys (cluster.go,
+// internal/shard). docs/API.md documents the wire format.
 package serve
 
 import (

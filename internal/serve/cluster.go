@@ -1,0 +1,245 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"paragraph/internal/shard"
+)
+
+// Cluster mode: N serve processes share one consistent-hash ring over the
+// content-addressed request keys (internal/shard), so every advise/predict
+// key has exactly one owning peer. A request landing on a non-owner is
+// proxied to its owner — the owner's cache and singleflight see all traffic
+// for its keys, which makes the tier's aggregate cache capacity scale with
+// N instead of every peer re-earning every entry. Forwarding is strictly
+// best-effort: if the owner is unreachable the receiving peer serves the
+// request locally (degraded — a duplicate evaluation, never a failure),
+// and a loop-guard header caps any request at one forwarding hop even
+// while peers' member lists disagree mid-rollout.
+
+// ClusterConfig puts a Server into cluster mode. Self and Peers are peer
+// base URLs ("http://host:port"); every peer of a cluster must be started
+// with the same Peers list (order does not matter — the ring sorts) and
+// its own Self.
+type ClusterConfig struct {
+	// Self is this process's base URL as the other peers reach it. It is
+	// added to the member set if Peers omits it.
+	Self string
+	// Peers is the full member list, normally including Self.
+	Peers []string
+	// VNodes is the virtual-node count per member (<= 0 = shard.DefaultVNodes).
+	VNodes int
+	// ForwardTimeout bounds one proxied request (<= 0 = shard default).
+	ForwardTimeout time.Duration
+	// MaxPeerConns caps connections per peer (<= 0 = shard default).
+	MaxPeerConns int
+}
+
+// cluster is the Server's live cluster state.
+type cluster struct {
+	self string
+	ring *shard.Ring
+	fwd  *shard.Forwarder
+
+	forwardedIn atomic.Uint64 // requests received already forwarded by a peer
+	fallbacks   atomic.Uint64 // owner unreachable, served locally instead
+}
+
+// NormalizePeerURL validates a peer base URL and strips the trailing slash
+// so ring membership comparison is exact. cmd/serve calls it during flag
+// validation to reject bad -self/-peers before the expensive backend build;
+// EnableCluster applies it again so programmatic callers get the same
+// normalization.
+func NormalizePeerURL(raw string) (string, error) {
+	raw = strings.TrimRight(strings.TrimSpace(raw), "/")
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("serve: peer URL %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("serve: peer URL %q must be http(s)://host:port", raw)
+	}
+	if u.Host == "" || u.Path != "" || u.RawQuery != "" {
+		return "", fmt.Errorf("serve: peer URL %q must be a bare base URL", raw)
+	}
+	return raw, nil
+}
+
+// EnableCluster switches the server into cluster mode. Call it after
+// NewServer and before serving traffic; a server without it behaves
+// exactly as before (every request served locally, /v1/ring reports
+// enabled=false).
+func (s *Server) EnableCluster(cfg ClusterConfig) error {
+	if s.cluster != nil {
+		return fmt.Errorf("serve: cluster mode already enabled")
+	}
+	self, err := NormalizePeerURL(cfg.Self)
+	if err != nil {
+		return fmt.Errorf("serve: -self: %w", err)
+	}
+	members := make([]string, 0, len(cfg.Peers)+1)
+	for _, p := range cfg.Peers {
+		m, err := NormalizePeerURL(p)
+		if err != nil {
+			return err
+		}
+		members = append(members, m)
+	}
+	ring, err := shard.NewRing(append(members, self), cfg.VNodes)
+	if err != nil {
+		return err
+	}
+	s.cluster = &cluster{
+		self: self,
+		ring: ring,
+		fwd: shard.NewForwarder(self, shard.ForwardOptions{
+			Timeout:         cfg.ForwardTimeout,
+			MaxConnsPerPeer: cfg.MaxPeerConns,
+		}),
+	}
+	return nil
+}
+
+// noteForwarded counts an incoming peer-forwarded request. Called at
+// handler entry so the counter reflects every forwarded arrival, cache hit
+// or miss, matching its documented "requests received already forwarded"
+// semantics.
+func (s *Server) noteForwarded(r *http.Request) {
+	if c := s.cluster; c != nil && r.Header.Get(shard.ForwardedByHeader) != "" {
+		c.forwardedIn.Add(1)
+	}
+}
+
+// route decides where a request with the given content-addressed key is
+// served. It returns ("", false) for local serving; (owner, true) means the
+// caller should try forwarding to owner first. A request that already
+// carries the loop-guard header is always local — that is what breaks
+// forwarding cycles when two peers' rings disagree.
+func (s *Server) route(r *http.Request, key string) (string, bool) {
+	c := s.cluster
+	if c == nil {
+		return "", false
+	}
+	if r.Header.Get(shard.ForwardedByHeader) != "" {
+		return "", false
+	}
+	owner := c.ring.Owner(key)
+	if owner == c.self {
+		return "", false
+	}
+	return owner, true
+}
+
+// proxiedResponse is a peer's verbatim answer, carried through the
+// singleflight so every request sharing the flight relays the same bytes.
+type proxiedResponse struct {
+	status int
+	body   []byte
+}
+
+// tryForward marshals req and forwards it to owner. ok=false means the
+// owner was unreachable (the fallback is counted) and the caller must
+// evaluate locally — degraded, never failing. The owner's HTTP errors are
+// authoritative answers and come back ok=true, relayed not retried.
+func (s *Server) tryForward(owner, path string, req any) (proxiedResponse, bool) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return proxiedResponse{}, false
+	}
+	status, respBody, err := s.cluster.fwd.Forward(owner, path, body)
+	if err != nil {
+		s.cluster.fallbacks.Add(1)
+		return proxiedResponse{}, false
+	}
+	return proxiedResponse{status: status, body: respBody}, true
+}
+
+// writeProxied relays a peer's response verbatim.
+func (s *Server) writeProxied(w http.ResponseWriter, pr proxiedResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(pr.status)
+	_, _ = w.Write(pr.body)
+}
+
+// servedBy names this process in responses it computed (or answered from
+// its own cache); "" outside cluster mode keeps the field omitted.
+func (s *Server) servedBy() string {
+	if s.cluster == nil {
+		return ""
+	}
+	return s.cluster.self
+}
+
+// RingMember is one peer's row in the /v1/ring payload.
+type RingMember struct {
+	Peer string `json:"peer"`
+	Self bool   `json:"self,omitempty"`
+	// Ownership is the exact fraction of the key space this peer owns.
+	Ownership float64 `json:"ownership"`
+	// Forwards counts requests this process proxied to the peer and got an
+	// answer for; Errors counts failed proxy attempts (each one fell back
+	// to local serving). Both are zero for Self.
+	Forwards uint64 `json:"forwards,omitempty"`
+	Errors   uint64 `json:"errors,omitempty"`
+}
+
+// RingResponse is the GET /v1/ring payload (also embedded in /v1/stats as
+// "cluster"). Outside cluster mode only Enabled=false is meaningful.
+type RingResponse struct {
+	Enabled bool         `json:"enabled"`
+	Self    string       `json:"self,omitempty"`
+	VNodes  int          `json:"vnodes,omitempty"`
+	Members []RingMember `json:"members,omitempty"`
+	// ForwardedIn counts requests that arrived already forwarded by a peer
+	// (this process answered them as owner). Deliberately not omitempty:
+	// operators and the CI smoke read these as plain numbers even at zero.
+	ForwardedIn uint64 `json:"forwarded_in"`
+	// LocalFallbacks counts requests this process owned out to a peer that
+	// was unreachable and served locally instead.
+	LocalFallbacks uint64 `json:"local_fallbacks"`
+}
+
+// Ring snapshots the cluster view (the /v1/ring payload).
+func (s *Server) Ring() RingResponse {
+	c := s.cluster
+	if c == nil {
+		return RingResponse{Enabled: false}
+	}
+	resp := RingResponse{
+		Enabled:        true,
+		Self:           c.self,
+		VNodes:         c.ring.VNodes(),
+		ForwardedIn:    c.forwardedIn.Load(),
+		LocalFallbacks: c.fallbacks.Load(),
+	}
+	ownership := c.ring.Ownership()
+	peerStats := map[string]shard.PeerStats{}
+	for _, ps := range c.fwd.Stats() {
+		peerStats[ps.Peer] = ps
+	}
+	for _, m := range c.ring.Members() {
+		resp.Members = append(resp.Members, RingMember{
+			Peer:      m,
+			Self:      m == c.self,
+			Ownership: ownership[m],
+			Forwards:  peerStats[m].Forwards,
+			Errors:    peerStats[m].Errors,
+		})
+	}
+	return resp
+}
+
+func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
+	s.counters.ring.Add(1)
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.Ring())
+}

@@ -116,6 +116,10 @@ type Server struct {
 	pool        *Pool
 	flights     flightGroup // collapses identical concurrent cache misses
 	counters    requestCounters
+
+	// cluster is non-nil once EnableCluster put the server into a
+	// consistent-hash sharded tier; nil means every request serves locally.
+	cluster *cluster
 }
 
 // encodeCacheAdapter exposes a *Cache as the advisor's EncodeCache.
@@ -212,6 +216,7 @@ func NewServer(backends []Backend, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/v1/ring", s.handleRing)
 	return s, nil
 }
 
@@ -339,13 +344,17 @@ type Recommendation struct {
 // AdviseResponse is the ranked answer, fastest first. Model is the
 // resolved version name. Coalesced marks a response that piggybacked on an
 // identical concurrent request's evaluation (singleflight) instead of
-// computing or hitting the cache itself.
+// computing or hitting the cache itself. ServedBy names the cluster peer
+// that answered (empty outside cluster mode): when it differs from the
+// peer the client contacted, the request was forwarded to the key's owner
+// on the consistent-hash ring.
 type AdviseResponse struct {
 	Machine         string           `json:"machine"`
 	Model           string           `json:"model"`
 	Kernel          string           `json:"kernel"`
 	Cached          bool             `json:"cached"`
 	Coalesced       bool             `json:"coalesced,omitempty"`
+	ServedBy        string           `json:"served_by,omitempty"`
 	ElapsedMS       float64          `json:"elapsed_ms"`
 	Recommendations []Recommendation `json:"recommendations"`
 }
@@ -362,7 +371,9 @@ type PredictRequest struct {
 	Bindings map[string]float64 `json:"bindings,omitempty"`
 }
 
-// PredictResponse is one static runtime prediction.
+// PredictResponse is one static runtime prediction. ServedBy is as in
+// AdviseResponse: the cluster peer that answered, empty outside cluster
+// mode.
 type PredictResponse struct {
 	Machine     string  `json:"machine"`
 	Model       string  `json:"model"`
@@ -372,6 +383,7 @@ type PredictResponse struct {
 	Threads     int     `json:"threads"`
 	PredictedUS float64 `json:"predicted_us"`
 	Cached      bool    `json:"cached"`
+	ServedBy    string  `json:"served_by,omitempty"`
 }
 
 type errorResponse struct {
@@ -461,6 +473,7 @@ func kernelKey(k apps.Kernel) string {
 
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	s.counters.advise.Add(1)
+	s.noteForwarded(r)
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -481,8 +494,6 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	space := req.Space.space()
-	ms.advise.Add(1)
-	ms.touch()
 
 	// Content-addressed response key: everything the ranking depends on,
 	// including the resolved model version (two versions of one platform
@@ -495,13 +506,31 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	var recs []advisor.Recommendation
 	cached, coalesced := false, false
 	if v, ok := s.adviseCache.Get(key); ok {
+		// A local hit is served locally even if a peer owns the key: the
+		// entry is content-addressed and immutable, so it is byte-identical
+		// to whatever the owner holds, and the hop is free to skip.
 		recs = v.([]advisor.Recommendation)
 		cached = true
 		s.counters.adviseHits.Add(1)
 	} else {
-		// Collapse identical concurrent misses: one evaluation feeds every
-		// request that arrives while it is in flight.
-		v, shared, err := s.flights.Do(key, func() (any, error) {
+		// The miss may belong to a peer: in cluster mode it is forwarded to
+		// the key's owner so that peer's cache and singleflight absorb all
+		// traffic for the key; an unreachable owner falls back to local
+		// evaluation — degraded (a duplicate evaluation), never failing.
+		// Forward-or-evaluate runs inside the singleflight so a burst of
+		// identical misses at a non-owner shares one proxied hop instead of
+		// each holding a connection to the owner. Top and IncludeSource are
+		// not in the cache key (a cached ranking serves any rendering), but a
+		// proxied response is already rendered, so they join the flight key —
+		// requests differing only in rendering must not share proxied bytes.
+		owner, forward := s.route(r, key)
+		flightKey := fmt.Sprintf("%s|t%d_s%v", key, req.Top, req.IncludeSource)
+		v, shared, err := s.flights.Do(flightKey, func() (any, error) {
+			if forward {
+				if pr, ok := s.tryForward(owner, "/v1/advise", req); ok {
+					return pr, nil
+				}
+			}
 			var out []advisor.Recommendation
 			err := s.pool.Run(func() error {
 				var err error
@@ -521,19 +550,26 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusUnprocessableEntity, "advise %s on %s/%s: %v", k.Name, be.machine.Name, ms.name, err)
 			return
 		}
-		recs = v.([]advisor.Recommendation)
 		if shared {
 			coalesced = true
 			s.counters.adviseCoalesced.Add(1)
 		}
+		if pr, ok := v.(proxiedResponse); ok {
+			s.writeProxied(w, pr)
+			return
+		}
+		recs = v.([]advisor.Recommendation)
 	}
 
+	ms.advise.Add(1)
+	ms.touch()
 	resp := AdviseResponse{
 		Machine:   be.machine.Name,
 		Model:     ms.name,
 		Kernel:    k.Name,
 		Cached:    cached,
 		Coalesced: coalesced,
+		ServedBy:  s.servedBy(),
 		ElapsedMS: float64(time.Since(startReq).Microseconds()) / 1000,
 	}
 	n := len(recs)
@@ -580,6 +616,7 @@ func kindByName(name string) (variants.Kind, error) {
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.counters.predict.Add(1)
+	s.noteForwarded(r)
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -613,22 +650,34 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "threads must be positive")
 		return
 	}
-	ms.predict.Add(1)
-	ms.touch()
 
 	key := Key("predict", be.machine.Name, ms.name, kernelKey(k), req.Variant,
 		fmt.Sprintf("g%d_t%d", req.Teams, req.Threads), advisor.BindingsKey(req.Bindings))
 	resp := PredictResponse{
 		Machine: be.machine.Name, Model: ms.name, Kernel: k.Name, Variant: req.Variant,
-		Teams: req.Teams, Threads: req.Threads,
+		Teams: req.Teams, Threads: req.Threads, ServedBy: s.servedBy(),
 	}
 	if v, ok := s.adviseCache.Get(key); ok {
+		ms.predict.Add(1)
+		ms.touch()
 		resp.PredictedUS = v.(float64)
 		resp.Cached = true
 		s.writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	// Cluster mode: a missed key owned by a peer is forwarded there, with
+	// local evaluation as the fallback when the owner is unreachable (same
+	// degraded-never-failing contract as handleAdvise). As there, the
+	// forward runs inside the singleflight so identical concurrent misses
+	// share one hop; predict responses have no rendering options, so the
+	// flight key is the cache key.
+	owner, forward := s.route(r, key)
 	v, shared, err := s.flights.Do(key, func() (any, error) {
+		if forward {
+			if pr, ok := s.tryForward(owner, "/v1/predict", req); ok {
+				return pr, nil
+			}
+		}
 		var us float64
 		err := s.pool.Run(func() error {
 			src, err := variants.Generate(k, kind, req.Teams, req.Threads)
@@ -658,6 +707,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if shared {
 		s.counters.adviseCoalesced.Add(1)
 	}
+	if pr, ok := v.(proxiedResponse); ok {
+		s.writeProxied(w, pr)
+		return
+	}
+	ms.predict.Add(1)
+	ms.touch()
 	resp.PredictedUS = v.(float64)
 	s.writeJSON(w, http.StatusOK, resp)
 }

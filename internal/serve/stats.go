@@ -12,6 +12,7 @@ type requestCounters struct {
 	health          atomic.Uint64
 	stats           atomic.Uint64
 	models          atomic.Uint64
+	ring            atomic.Uint64
 	errors          atomic.Uint64
 	adviseHits      atomic.Uint64 // advise responses answered from cache
 	adviseCoalesced atomic.Uint64 // responses that shared another request's evaluation
@@ -42,6 +43,7 @@ type Stats struct {
 		Healthz uint64 `json:"healthz"`
 		Stats   uint64 `json:"stats"`
 		Models  uint64 `json:"models"`
+		Ring    uint64 `json:"ring"`
 		Errors  uint64 `json:"errors"`
 	} `json:"requests"`
 
@@ -54,6 +56,11 @@ type Stats struct {
 
 	Models []ModelStats `json:"models"`
 	Pool   PoolStats    `json:"pool"`
+
+	// Cluster is the consistent-hash tier view (ring membership, ownership
+	// fractions, per-peer forward/fallback counters); nil outside cluster
+	// mode. GET /v1/ring serves the same payload on its own.
+	Cluster *RingResponse `json:"cluster,omitempty"`
 }
 
 // snapshot assembles the stats payload from the server's live components.
@@ -65,6 +72,7 @@ func (s *Server) snapshot() Stats {
 	st.Requests.Healthz = s.counters.health.Load()
 	st.Requests.Stats = s.counters.stats.Load()
 	st.Requests.Models = s.counters.models.Load()
+	st.Requests.Ring = s.counters.ring.Load()
 	st.Requests.Errors = s.counters.errors.Load()
 	st.AdviseCacheHits = s.counters.adviseHits.Load()
 	st.Coalesced = s.counters.adviseCoalesced.Load()
@@ -86,5 +94,9 @@ func (s *Server) snapshot() Stats {
 		}
 	}
 	st.Pool = s.pool.Stats()
+	if s.cluster != nil {
+		ring := s.Ring()
+		st.Cluster = &ring
+	}
 	return st
 }

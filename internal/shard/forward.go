@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ForwardedByHeader marks a request that was already forwarded once by the
+// named peer. A receiving server must answer such a request locally, never
+// re-forward it: during a membership change two peers' rings can briefly
+// disagree about a key's owner, and the guard turns what would be a
+// forwarding loop into at most one extra hop.
+const ForwardedByHeader = "X-Paragraph-Forwarded-By"
+
+// ForwardOptions tunes the peer-forwarding clients. Zero values pick
+// defaults.
+type ForwardOptions struct {
+	// Timeout bounds one forwarded request end to end (connect, send,
+	// owner's evaluation, response). Default 15s — an advise miss on the
+	// owner pays a full grid evaluation, which dwarfs the network hop.
+	Timeout time.Duration
+	// MaxConnsPerPeer caps concurrent connections to one peer; idle
+	// connections up to the cap are kept for reuse. Default 8.
+	MaxConnsPerPeer int
+}
+
+func (o ForwardOptions) withDefaults() ForwardOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 15 * time.Second
+	}
+	if o.MaxConnsPerPeer <= 0 {
+		o.MaxConnsPerPeer = 8
+	}
+	return o
+}
+
+// peerClient is one peer's bounded HTTP client plus its traffic counters.
+type peerClient struct {
+	client   *http.Client
+	forwards atomic.Uint64 // requests successfully answered by this peer
+	errors   atomic.Uint64 // transport failures (caller fell back to local)
+}
+
+// Forwarder carries requests to their owning peer over HTTP. Each peer
+// gets its own client with a bounded connection pool, so a slow or dead
+// peer can exhaust only its own connections, never another peer's. Safe
+// for concurrent use.
+type Forwarder struct {
+	self string
+	opts ForwardOptions
+
+	mu    sync.Mutex
+	peers map[string]*peerClient
+}
+
+// NewForwarder returns a Forwarder that identifies itself as self (the
+// value written into ForwardedByHeader).
+func NewForwarder(self string, opts ForwardOptions) *Forwarder {
+	return &Forwarder{self: self, opts: opts.withDefaults(), peers: map[string]*peerClient{}}
+}
+
+func (f *Forwarder) peer(name string) *peerClient {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	pc, ok := f.peers[name]
+	if !ok {
+		pc = &peerClient{client: &http.Client{
+			Timeout: f.opts.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: f.opts.MaxConnsPerPeer,
+				MaxConnsPerHost:     f.opts.MaxConnsPerPeer,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}}
+		f.peers[name] = pc
+	}
+	return pc
+}
+
+// Forward POSTs body (JSON) to peer+path with the loop-guard header set and
+// returns the peer's status code and response body. Any HTTP response —
+// including an error status — counts as a successful forward: the owner
+// answered, and its answer (even "unknown kernel") is authoritative. A
+// non-nil error means the peer was unreachable (dial failure, timeout,
+// truncated response); the caller should fall back to serving locally.
+func (f *Forwarder) Forward(peer, path string, body []byte) (int, []byte, error) {
+	pc := f.peer(peer)
+	req, err := http.NewRequest(http.MethodPost, peer+path, bytes.NewReader(body))
+	if err != nil {
+		pc.errors.Add(1)
+		return 0, nil, fmt.Errorf("shard: building forward to %s: %w", peer, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedByHeader, f.self)
+	resp, err := pc.client.Do(req)
+	if err != nil {
+		pc.errors.Add(1)
+		return 0, nil, fmt.Errorf("shard: forwarding to %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		pc.errors.Add(1)
+		return 0, nil, fmt.Errorf("shard: reading forward response from %s: %w", peer, err)
+	}
+	pc.forwards.Add(1)
+	return resp.StatusCode, out, nil
+}
+
+// PeerStats is one peer's forwarding counters.
+type PeerStats struct {
+	Peer     string `json:"peer"`
+	Forwards uint64 `json:"forwards"`
+	Errors   uint64 `json:"errors"`
+}
+
+// Stats snapshots the per-peer counters, sorted by peer name. Peers appear
+// once the first request is forwarded to them.
+func (f *Forwarder) Stats() []PeerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]PeerStats, 0, len(f.peers))
+	for name, pc := range f.peers {
+		out = append(out, PeerStats{
+			Peer:     name,
+			Forwards: pc.forwards.Load(),
+			Errors:   pc.errors.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}

@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestForwardRoundTrip: a forwarded request reaches the peer with the
+// loop-guard header and JSON content type, and the peer's status and body
+// come back verbatim.
+func TestForwardRoundTrip(t *testing.T) {
+	var gotHeader, gotCT, gotBody string
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader = r.Header.Get(ForwardedByHeader)
+		gotCT = r.Header.Get("Content-Type")
+		b, _ := io.ReadAll(r.Body)
+		gotBody = string(b)
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer peer.Close()
+
+	f := NewForwarder("http://self:1", ForwardOptions{})
+	status, body, err := f.Forward(peer.URL, "/v1/advise", []byte(`{"kernel":"matmul"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusTeapot || string(body) != `{"ok":true}` {
+		t.Errorf("forward returned %d %q", status, body)
+	}
+	if gotHeader != "http://self:1" {
+		t.Errorf("%s = %q, want the forwarder's self", ForwardedByHeader, gotHeader)
+	}
+	if gotCT != "application/json" {
+		t.Errorf("forwarded Content-Type = %q", gotCT)
+	}
+	if gotBody != `{"kernel":"matmul"}` {
+		t.Errorf("forwarded body = %q", gotBody)
+	}
+
+	st := f.Stats()
+	if len(st) != 1 || st[0].Forwards != 1 || st[0].Errors != 0 {
+		t.Errorf("stats after one forward = %+v", st)
+	}
+}
+
+// TestForwardUnreachablePeer: a dead peer yields an error (the caller's cue
+// to fall back to local serving) and an error counter, not a hang.
+func TestForwardUnreachablePeer(t *testing.T) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	peer.Close() // nothing listens anymore
+
+	f := NewForwarder("http://self:1", ForwardOptions{Timeout: 2 * time.Second})
+	if _, _, err := f.Forward(peer.URL, "/v1/advise", nil); err == nil {
+		t.Fatal("forward to a closed peer succeeded")
+	}
+	st := f.Stats()
+	if len(st) != 1 || st[0].Errors != 1 || st[0].Forwards != 0 {
+		t.Errorf("stats after failed forward = %+v", st)
+	}
+}
+
+// TestForwardErrorStatusIsNotAnError: HTTP-level errors from the owner are
+// authoritative answers, relayed rather than falling back.
+func TestForwardErrorStatusIsNotAnError(t *testing.T) {
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"unknown kernel"}`, http.StatusBadRequest)
+	}))
+	defer peer.Close()
+
+	f := NewForwarder("http://self:1", ForwardOptions{})
+	status, _, err := f.Forward(peer.URL, "/v1/advise", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("HTTP 400 from the owner reported as transport error: %v", err)
+	}
+	if status != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", status)
+	}
+	if st := f.Stats(); st[0].Forwards != 1 || st[0].Errors != 0 {
+		t.Errorf("stats = %+v; an answered forward must not count as an error", st)
+	}
+}
