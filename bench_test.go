@@ -470,8 +470,14 @@ func BenchmarkServeAdviseCached(b *testing.B) {
 
 // benchCluster boots a two-peer consistent-hash tier over loopback HTTP
 // (identical model seeds, so the peers are interchangeable) and returns the
-// peer base URLs.
+// peer base URLs. Single-owner (rf=1), so the forwarded benchmark below
+// keeps paying its hop.
 func benchCluster(b *testing.B) [2]string {
+	return benchClusterRF(b, 1)
+}
+
+// benchClusterRF is benchCluster with a replication factor.
+func benchClusterRF(b *testing.B, rf int) [2]string {
 	b.Helper()
 	var urls [2]string
 	var srvs [2]*serve.Server
@@ -482,7 +488,7 @@ func benchCluster(b *testing.B) [2]string {
 		urls[i] = hs.URL
 	}
 	for i := range srvs {
-		if err := srvs[i].EnableCluster(serve.ClusterConfig{Self: urls[i], Peers: urls[:]}); err != nil {
+		if err := srvs[i].EnableCluster(serve.ClusterConfig{Self: urls[i], Peers: urls[:], Replication: rf}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -567,6 +573,33 @@ func BenchmarkServeAdviseClusterForwarded(b *testing.B) {
 		if out := benchClusterAdvise(b, urls[0], forwardedN); i == 0 && out.ServedBy != urls[1] {
 			b.Fatalf("probe said peer B owns n=%v but served_by=%s", forwardedN, out.ServedBy)
 		}
+	}
+}
+
+// BenchmarkServeAdviseClusterReplicated measures the warm advise of
+// BenchmarkServeAdviseClusterForwarded on an RF=2 tier: the owner's
+// write-through has landed the entry on the receiving replica, so the
+// request that previously paid a proxy hop per call is now a local cache
+// hit. The delta against ClusterForwarded is what replication buys warm
+// traffic (and what failover costs nothing extra to keep).
+func BenchmarkServeAdviseClusterReplicated(b *testing.B) {
+	urls := benchClusterRF(b, 2)
+	_, forwardedN := benchClusterFindKeys(b, urls)
+	// The probe warmed the key on its primary (peer B); wait for the
+	// asynchronous write-through to land on peer A, after which A answers
+	// it locally.
+	for i := 0; ; i++ {
+		out := benchClusterAdvise(b, urls[0], forwardedN)
+		if out.Cached && out.ServedBy == urls[0] {
+			break
+		}
+		if i > 1000 {
+			b.Fatalf("replica copy never landed on peer A (served_by=%s)", out.ServedBy)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchClusterAdvise(b, urls[0], forwardedN)
 	}
 }
 

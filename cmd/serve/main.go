@@ -8,10 +8,13 @@
 // repeat traffic warm.
 //
 // With -self and -peers, N serve processes form a consistent-hash sharded
-// tier (internal/shard): each advise/predict cache key has one owning
-// peer, non-owners proxy misses to the owner, and an unreachable owner
-// degrades to local serving instead of failing. Every peer must be started
-// with the same -peers list and the same checkpoints.
+// tier (internal/shard): each advise/predict cache key is owned by its
+// first -replication ring successors (default 2), non-owners proxy misses
+// to the primary owner, evaluated entries are written through to the
+// replicas, and an unreachable primary fails over to its replicas — so one
+// peer death costs a forwarding detour, never recomputation — before
+// degrading to local serving. Every peer must be started with the same
+// -peers list, the same -replication, and the same checkpoints.
 //
 // Usage:
 //
@@ -20,15 +23,17 @@
 //	      [-epochs N] [-points N]
 //	      [-cache-file PATH] [-cache-snapshot 5m]
 //	      [-self http://host:8080 -peers http://host:8080,http://host2:8080]
+//	      [-replication 2]
 //
 // Endpoints:
 //
-//	POST /v1/advise   rank variant grid for a kernel on one machine
-//	POST /v1/predict  predict one variant's runtime
-//	GET  /v1/healthz  liveness and served machines
-//	GET  /v1/models   served model versions per platform
-//	GET  /v1/stats    cache/batcher/pool/per-model/cluster counters
-//	GET  /v1/ring     cluster membership, ownership, forward counters
+//	POST /v1/advise     rank variant grid for a kernel on one machine
+//	POST /v1/predict    predict one variant's runtime
+//	GET  /v1/healthz    liveness and served machines
+//	GET  /v1/models     served model versions per platform
+//	GET  /v1/stats      cache/batcher/pool/per-model/cluster counters
+//	GET  /v1/ring       cluster membership, ownership, forward counters
+//	POST /v1/replicate  peer-internal cache write-through (cluster mode)
 //
 // On SIGINT/SIGTERM the server stops accepting requests, drains in-flight
 // batches, flushes the cache snapshot, and exits. docs/API.md documents the
@@ -170,6 +175,7 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 	peersFlag := fs.String("peers", "", "cluster mode: comma-separated base URLs of every peer (including -self)")
 	vnodes := fs.Int("ring-vnodes", 0, "cluster mode: virtual nodes per peer on the hash ring (0 = default)")
 	forwardTimeout := fs.Duration("forward-timeout", 0, "cluster mode: per-forwarded-request timeout (0 = default)")
+	replication := fs.Int("replication", 2, "cluster mode: ring successors owning each key (1 = single-owner, no replication; clamped to cluster size)")
 	if err := fs.Parse(args); err != nil {
 		return nil, serveConfig{}, err
 	}
@@ -182,6 +188,9 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 	if clusterMode {
 		if *self == "" || *peersFlag == "" {
 			return nil, serveConfig{}, fmt.Errorf("cluster mode needs both -self and -peers")
+		}
+		if *replication < 1 {
+			return nil, serveConfig{}, fmt.Errorf("-replication must be >= 1 (got %d)", *replication)
 		}
 		if _, err := serve.NormalizePeerURL(*self); err != nil {
 			return nil, serveConfig{}, fmt.Errorf("-self: %w", err)
@@ -229,13 +238,18 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 			Peers:          peers,
 			VNodes:         *vnodes,
 			ForwardTimeout: *forwardTimeout,
+			Replication:    *replication,
 		}); err != nil {
 			srv.Close()
 			return nil, serveConfig{}, err
 		}
 		ring := srv.Ring()
-		fmt.Fprintf(w, "cluster mode: %d peers on a %d-vnode ring, self=%s (%.0f%% of key space)\n",
-			len(ring.Members), ring.VNodes, ring.Self, selfOwnership(ring)*100)
+		rf := 1
+		if ring.Replication != nil {
+			rf = ring.Replication.Factor
+		}
+		fmt.Fprintf(w, "cluster mode: %d peers on a %d-vnode ring, rf=%d, self=%s (%.0f%% of key space)\n",
+			len(ring.Members), ring.VNodes, rf, ring.Self, selfOwnership(ring)*100)
 	}
 	return srv, cfg, nil
 }

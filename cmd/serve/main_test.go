@@ -325,6 +325,8 @@ func TestBuildServerFlagErrors(t *testing.T) {
 		{"-self", "not-a-url", "-peers", "http://127.0.0.1:1"},
 		{"-self", "http://127.0.0.1:1", "-peers", "ftp://127.0.0.1:2"},
 		{"-self", "http://127.0.0.1:1", "-peers", "http://127.0.0.1:2/suffix"},
+		{"-self", "http://127.0.0.1:1", "-peers", "http://127.0.0.1:2", "-replication", "0"},
+		{"-self", "http://127.0.0.1:1", "-peers", "http://127.0.0.1:2", "-replication", "-3"},
 	}
 	for _, args := range cases {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {
@@ -362,7 +364,7 @@ func TestClusterFlagsFormWorkingTier(t *testing.T) {
 	hss := make([]*http.Server, 2)
 	for i := range srvs {
 		srv, _, err := buildServer([]string{
-			"-model-dir", dir, "-self", urls[i], "-peers", peers,
+			"-model-dir", dir, "-self", urls[i], "-peers", peers, "-replication", "2",
 		}, io.Discard)
 		if err != nil {
 			t.Fatal(err)
@@ -402,9 +404,14 @@ func TestClusterFlagsFormWorkingTier(t *testing.T) {
 	if !ring.Enabled || len(ring.Members) != 2 {
 		t.Fatalf("ring = %+v", ring)
 	}
+	if ring.Replication == nil || ring.Replication.Factor != 2 {
+		t.Fatalf("-replication 2 not reflected in the ring view: %+v", ring.Replication)
+	}
 
 	// Degraded mode: kill peer B outright (listener and every open
-	// connection); peer A keeps answering B-owned keys itself.
+	// connection); peer A keeps answering B-owned keys itself. With rf=2
+	// on two peers A is every key's primary or sole surviving replica, so
+	// fresh B-primary keys count local fallbacks.
 	hss[1].Close()
 	for i := 0; i < 16; i++ {
 		var resp serve.AdviseResponse

@@ -6,9 +6,11 @@
 //
 // The module root holds only the benchmark harness (bench_test.go), with
 // one benchmark per table and figure of the paper's evaluation plus
-// serving-path benchmarks. README.md is the tour; docs/API.md and
-// docs/OPERATIONS.md document the HTTP service. Entry points are under
-// cmd/ (paragraph, datagen, train, experiments, serve) and examples/.
+// serving-path benchmarks. README.md is the tour; docs/ARCHITECTURE.md is
+// the serving design doc (request lifecycle, sharding, replication), and
+// docs/API.md and docs/OPERATIONS.md document the HTTP service. Entry
+// points are under cmd/ (paragraph, datagen, train, experiments, serve)
+// and examples/.
 //
 // # Package tree
 //
@@ -31,8 +33,10 @@
 //	  registry               versioned model checkpoints (weights + manifest)
 //	  serve                  the HTTP service: caches, batching, pool,
 //	                         singleflight, snapshots, cluster routing
-//	  shard                  consistent-hash ring + peer forwarder backing
-//	                         serve's cluster mode
+//	                         with replicated ownership
+//	  shard                  consistent-hash ring (successor-list owners)
+//	                         + peer forwarder (sync + async write-through)
+//	                         backing serve's cluster mode
 //
 // # Serving
 //
@@ -40,12 +44,13 @@
 // as an always-on advisory service rather than a one-shot CLI. cmd/serve
 // exposes trained models over HTTP/JSON (internal/serve):
 //
-//	POST /v1/advise   rank a kernel's variant grid on one machine
-//	POST /v1/predict  predict one variant's runtime
-//	GET  /v1/healthz  liveness and served machines
-//	GET  /v1/models   served model versions per platform
-//	GET  /v1/stats    cache/batcher/pool/per-model/cluster counters
-//	GET  /v1/ring     cluster membership, ownership, forward counters
+//	POST /v1/advise     rank a kernel's variant grid on one machine
+//	POST /v1/predict    predict one variant's runtime
+//	GET  /v1/healthz    liveness and served machines
+//	GET  /v1/models     served model versions per platform
+//	GET  /v1/stats      cache/batcher/pool/per-model/cluster counters
+//	GET  /v1/ring       cluster membership, ownership, replication counters
+//	POST /v1/replicate  peer-internal cache write-through (cluster mode)
 //
 // Models come from a checkpoint registry (internal/registry): `train
 // -save-dir DIR` persists each trained model as weights plus a JSON
@@ -82,11 +87,17 @@
 //
 // Because the cache keys are content-addressed, N serve processes started
 // with -self and -peers form a consistent-hash sharded tier
-// (internal/shard): each key has one owning peer, non-owners proxy misses
-// to the owner (so the owner's cache and singleflight absorb all traffic
-// for its keys and aggregate cache capacity scales with N), and an
-// unreachable owner degrades to local serving rather than failing the
-// request. GET /v1/ring reports membership, exact ownership fractions and
-// forward counters; adding or removing a peer moves only ~1/N of the key
-// space.
+// (internal/shard): each key is owned by its first -replication ring
+// successors (default 2) — the primary first, replicas in failover order.
+// Non-owners proxy misses to the primary (so its cache and singleflight
+// absorb all traffic for its keys and aggregate cache capacity scales
+// with N), the primary writes each evaluated entry through to the
+// replicas (POST /v1/replicate: asynchronous, bounded, fire-and-forget),
+// and when the primary is unreachable requests fail over to the replicas'
+// warm copies before degrading to local serving — one peer death costs a
+// forwarding detour, never recomputation. GET /v1/ring reports
+// membership, exact ownership fractions, forward and replication
+// counters, and per-key owner lists (?key=); adding or removing a peer
+// changes only the owner lists it was on. docs/ARCHITECTURE.md documents
+// the full design.
 package paragraph

@@ -12,10 +12,14 @@
 // restart, and finally printing the /v1/stats counters.
 //
 // It closes with the multi-peer walkthrough: two service instances booted
-// from the same checkpoints join a consistent-hash ring (what
-// `serve -self -peers` does), requests sent to one peer are forwarded to
-// whichever peer owns their cache key, and GET /v1/ring shows the
-// membership, per-peer ownership fractions and forward counters.
+// from the same checkpoints join a consistent-hash ring with replicated
+// ownership (what `serve -self -peers -replication 2` does). Requests
+// sent to one peer are forwarded to whichever peer primarily owns their
+// cache key — each response's served_by names the answering peer — and
+// every evaluated entry is written through to the key's replica. The demo
+// then kills one peer and replays every request through the survivor: all
+// of them come back as cache hits, showing that a peer death loses no
+// cache warmth under RF=2.
 //
 // The registry layout mirrors what `train -save-dir DIR` writes and
 // `serve -model-dir DIR -cache-file CACHE` consumes:
@@ -39,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"time"
 
 	"paragraph/internal/experiments"
 	"paragraph/internal/hw"
@@ -252,14 +257,16 @@ func startLocalService() (base string, stop func(), warmRestart, clusterDemo fun
 	}
 
 	// The multi-peer walkthrough: boot two instances from the same
-	// checkpoints, join them on a consistent-hash ring (`serve -self
-	// -peers`), and watch requests route to whichever peer owns their cache
-	// key — the tier answers identically no matter which peer the client
-	// hits, and each key is cached exactly once across the cluster.
+	// checkpoints, join them on a consistent-hash ring with replicated
+	// ownership (`serve -self -peers -replication 2`), and watch requests
+	// route to whichever peer primarily owns their cache key — then kill a
+	// peer and watch its cache warmth survive on the replica: the replayed
+	// requests come back as cache hits, not recomputations.
 	clusterDemo = func(req serve.AdviseRequest) error {
-		fmt.Println("\ncluster mode (`serve -self -peers`): two peers, one hash ring")
+		fmt.Println("\ncluster mode (`serve -self -peers -replication 2`): two peers, one hash ring, every key on both")
 		var urls [2]string
 		var srvs [2]*serve.Server
+		var listeners [2]*http.Server
 		for i := range srvs {
 			srv, err := serve.NewServer(backends, serve.Options{})
 			if err != nil {
@@ -274,39 +281,70 @@ func startLocalService() (base string, stop func(), warmRestart, clusterDemo fun
 			go phs.Serve(pln)
 			defer phs.Close()
 			srvs[i] = srv
+			listeners[i] = phs
 			urls[i] = "http://" + pln.Addr().String()
 		}
 		for i := range srvs {
-			if err := srvs[i].EnableCluster(serve.ClusterConfig{Self: urls[i], Peers: urls[:]}); err != nil {
+			if err := srvs[i].EnableCluster(serve.ClusterConfig{
+				Self: urls[i], Peers: urls[:], Replication: 2,
+			}); err != nil {
 				return err
 			}
 		}
 		fmt.Printf("peer A = %s\npeer B = %s\nall requests go to peer A:\n", urls[0], urls[1])
-		for i := 0; i < 6; i++ {
-			req.Bindings = map[string]float64{"n": float64(256 + 128*i)}
+		forwarded := 0
+		ns := []float64{256, 384, 512, 640, 768, 896}
+		for _, n := range ns {
+			req.Bindings = map[string]float64{"n": n}
 			resp, err := advise(urls[0], req)
 			if err != nil {
 				return err
 			}
-			routed := "served locally"
+			routed := "evaluated locally (peer A is the primary owner)"
 			if resp.ServedBy != urls[0] {
-				routed = "forwarded to peer B (ring owner)"
+				routed = "forwarded to the primary owner"
+				forwarded++
 			}
-			fmt.Printf("  n=%-5.0f -> %s\n", req.Bindings["n"], routed)
+			fmt.Printf("  n=%-5.0f served_by=%s — %s\n", n, resp.ServedBy, routed)
 		}
-		var ring serve.RingResponse
-		if err := getJSON(urls[0]+"/v1/ring", &ring); err != nil {
-			return err
-		}
-		fmt.Println("peer A's GET /v1/ring:")
-		for _, m := range ring.Members {
-			who := "peer"
-			if m.Self {
-				who = "self"
+
+		// Every evaluation was written through to the key's replica
+		// (fire-and-forget), so wait for peer A to have absorbed the
+		// entries peer B evaluated.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var ring serve.RingResponse
+			if err := getJSON(urls[0]+"/v1/ring", &ring); err != nil {
+				return err
 			}
-			fmt.Printf("  %s %s owns %.0f%% of the key space, %d requests forwarded to it\n",
-				who, m.Peer, m.Ownership*100, m.Forwards)
+			if ring.Replication != nil && ring.Replication.ReplicatedIn >= uint64(forwarded) {
+				fmt.Printf("\npeer A's replication counters: %d writes out, %d entries replicated in, %d replica hits\n",
+					ring.Replication.Writes, ring.Replication.ReplicatedIn, ring.Replication.ReplicaHits)
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("write-throughs never landed on peer A")
+			}
+			time.Sleep(5 * time.Millisecond)
 		}
+
+		// Kill peer B outright and replay everything through peer A: with
+		// RF=2 each answer comes from A's cache (its own entries plus B's
+		// replicated ones) — one peer death loses no warmth.
+		fmt.Println("killing peer B and replaying all requests through peer A:")
+		listeners[1].Close()
+		for _, n := range ns {
+			req.Bindings = map[string]float64{"n": n}
+			resp, err := advise(urls[0], req)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  n=%-5.0f served_by=%s cached=%v\n", n, resp.ServedBy, resp.Cached)
+			if !resp.Cached {
+				return fmt.Errorf("n=%.0f recomputed after peer death; replication failed", n)
+			}
+		}
+		fmt.Println("every replayed request was a cache hit — peer B's warmth survived on its replica")
 		return nil
 	}
 	return "http://" + ln.Addr().String(), stop, warmRestart, clusterDemo, nil

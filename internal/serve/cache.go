@@ -14,8 +14,10 @@
 // concurrently-arriving samples into gnn.Model.PredictBatch calls. The
 // advise-response cache can be snapshotted and restored across restarts
 // (snapshot.go), and EnableCluster shards the whole tier across processes
-// with a consistent-hash ring over the cache keys (cluster.go,
-// internal/shard). docs/API.md documents the wire format.
+// with a consistent-hash ring over the cache keys — each key owned by its
+// first rf ring successors, with asynchronous write-through to replicas
+// and failover in successor order (cluster.go, internal/shard).
+// docs/API.md documents the wire format; docs/ARCHITECTURE.md the design.
 package serve
 
 import (

@@ -9,19 +9,29 @@ import (
 	"sync/atomic"
 	"time"
 
+	"paragraph/internal/advisor"
 	"paragraph/internal/shard"
 )
 
 // Cluster mode: N serve processes share one consistent-hash ring over the
 // content-addressed request keys (internal/shard), so every advise/predict
-// key has exactly one owning peer. A request landing on a non-owner is
-// proxied to its owner — the owner's cache and singleflight see all traffic
-// for its keys, which makes the tier's aggregate cache capacity scale with
-// N instead of every peer re-earning every entry. Forwarding is strictly
-// best-effort: if the owner is unreachable the receiving peer serves the
-// request locally (degraded — a duplicate evaluation, never a failure),
-// and a loop-guard header caps any request at one forwarding hop even
-// while peers' member lists disagree mid-rollout.
+// key has a deterministic owner list — the first `rf` distinct peers
+// clockwise from the key's hash (Ring.Owners). Owners[0] is the primary:
+// a request landing elsewhere is proxied to it, so the primary's cache and
+// singleflight see all traffic for its keys and the tier's aggregate cache
+// capacity scales with N instead of every peer re-earning every entry.
+//
+// With Replication > 1 the remaining owners are replicas: when the primary
+// evaluates a miss it writes the finished entry through to them via the
+// bounded fire-and-forget POST /v1/replicate path, and when the primary is
+// unreachable a forwarding peer tries the replicas in successor order
+// before degrading to local evaluation. One peer death therefore costs a
+// forwarding detour, never the recomputation of that peer's cache.
+// Forwarding stays strictly best-effort: if every owner is unreachable the
+// receiving peer serves the request locally (degraded — a duplicate
+// evaluation, never a failure), and a loop-guard header caps any request
+// at one forwarding hop even while peers' member lists disagree
+// mid-rollout. docs/ARCHITECTURE.md walks the full state machine.
 
 // ClusterConfig puts a Server into cluster mode. Self and Peers are peer
 // base URLs ("http://host:port"); every peer of a cluster must be started
@@ -39,6 +49,14 @@ type ClusterConfig struct {
 	ForwardTimeout time.Duration
 	// MaxPeerConns caps connections per peer (<= 0 = shard default).
 	MaxPeerConns int
+	// Replication is how many ring successors own each key (the tier's
+	// RF). 1 — or 0, the zero value — keeps the original single-owner
+	// behavior with no replication traffic at all; values above the
+	// cluster size are clamped to it. Every peer must use the same value.
+	Replication int
+	// ReplicationQueue bounds the async write-through queue; posts beyond
+	// it are dropped, never blocked on (<= 0 = shard default).
+	ReplicationQueue int
 }
 
 // cluster is the Server's live cluster state.
@@ -46,9 +64,14 @@ type cluster struct {
 	self string
 	ring *shard.Ring
 	fwd  *shard.Forwarder
+	rf   int // replication factor, clamped to [1, len(members)]
 
-	forwardedIn atomic.Uint64 // requests received already forwarded by a peer
-	fallbacks   atomic.Uint64 // owner unreachable, served locally instead
+	forwardedIn  atomic.Uint64 // requests received already forwarded by a peer
+	fallbacks    atomic.Uint64 // every owner unreachable, served locally instead
+	replicaHits  atomic.Uint64 // forwards answered by a replica after the primary failed
+	repWrites    atomic.Uint64 // cache entries enqueued for write-through to replicas
+	repDrops     atomic.Uint64 // write-throughs dropped (queue full)
+	replicatedIn atomic.Uint64 // cache entries accepted via POST /v1/replicate
 }
 
 // NormalizePeerURL validates a peer base URL and strips the trailing slash
@@ -95,12 +118,24 @@ func (s *Server) EnableCluster(cfg ClusterConfig) error {
 	if err != nil {
 		return err
 	}
+	if cfg.Replication < 0 {
+		return fmt.Errorf("serve: replication factor %d must be >= 1", cfg.Replication)
+	}
+	rf := cfg.Replication
+	if rf < 1 {
+		rf = 1
+	}
+	if n := len(ring.Members()); rf > n {
+		rf = n
+	}
 	s.cluster = &cluster{
 		self: self,
 		ring: ring,
+		rf:   rf,
 		fwd: shard.NewForwarder(self, shard.ForwardOptions{
 			Timeout:         cfg.ForwardTimeout,
 			MaxConnsPerPeer: cfg.MaxPeerConns,
+			AsyncQueue:      cfg.ReplicationQueue,
 		}),
 	}
 	return nil
@@ -117,23 +152,55 @@ func (s *Server) noteForwarded(r *http.Request) {
 }
 
 // route decides where a request with the given content-addressed key is
-// served. It returns ("", false) for local serving; (owner, true) means the
-// caller should try forwarding to owner first. A request that already
-// carries the loop-guard header is always local — that is what breaks
-// forwarding cycles when two peers' rings disagree.
-func (s *Server) route(r *http.Request, key string) (string, bool) {
+// served. targets is the ordered list of peers to try — the key's primary
+// owner first, then its replicas in successor order, self excluded; empty
+// targets means serve locally without trying anyone, because cluster mode
+// is off, the request already carries the loop-guard header (that is what
+// breaks forwarding cycles when two peers' rings disagree), or this
+// process is the key's primary owner. owners is the key's full owner list
+// (nil at rf=1, when no write-through can happen) and owned reports
+// whether this process is on it: an owned miss that ends up evaluated
+// locally is written through to the other owners afterwards (replicate,
+// which reuses the list rather than re-walking the ring).
+func (s *Server) route(r *http.Request, key string) (targets, owners []string, owned bool) {
 	c := s.cluster
 	if c == nil {
-		return "", false
+		return nil, nil, false
 	}
-	if r.Header.Get(shard.ForwardedByHeader) != "" {
-		return "", false
+	forwarded := r.Header.Get(shard.ForwardedByHeader) != ""
+	if c.rf == 1 {
+		// Single-owner fast path: no successor list to build (Owner is an
+		// allocation-free binary search), and with no replicas owned only
+		// gates a write-through that can never happen.
+		owner := c.ring.Owner(key)
+		if owner == c.self || forwarded {
+			return nil, nil, owner == c.self
+		}
+		return []string{owner}, nil, false
 	}
-	owner := c.ring.Owner(key)
-	if owner == c.self {
-		return "", false
+	owners = c.ring.Owners(key, c.rf)
+	if forwarded {
+		// Forced local: still report ownership so a primary evaluating a
+		// forwarded-in miss replicates the result.
+		for _, o := range owners {
+			if o == c.self {
+				return nil, owners, true
+			}
+		}
+		return nil, owners, false
 	}
-	return owner, true
+	if owners[0] == c.self {
+		return nil, owners, true
+	}
+	targets = make([]string, 0, len(owners))
+	for _, o := range owners {
+		if o == c.self {
+			owned = true
+			continue
+		}
+		targets = append(targets, o)
+	}
+	return targets, owners, owned
 }
 
 // proxiedResponse is a peer's verbatim answer, carried through the
@@ -143,21 +210,118 @@ type proxiedResponse struct {
 	body   []byte
 }
 
-// tryForward marshals req and forwards it to owner. ok=false means the
-// owner was unreachable (the fallback is counted) and the caller must
-// evaluate locally — degraded, never failing. The owner's HTTP errors are
-// authoritative answers and come back ok=true, relayed not retried.
-func (s *Server) tryForward(owner, path string, req any) (proxiedResponse, bool) {
+// tryForward marshals req and forwards it to the targets in successor
+// order — the primary owner first, then the replicas — relaying the first
+// answer it gets. ok=false means every target was unreachable (one local
+// fallback is counted) and the caller must evaluate locally — degraded,
+// never failing. An answer from any target after the first is counted as a
+// replica hit: the primary was down but the tier's warmth survived on a
+// successor. A target's HTTP errors are authoritative answers and come
+// back ok=true, relayed not retried.
+func (s *Server) tryForward(targets []string, path string, req any) (proxiedResponse, bool) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return proxiedResponse{}, false
 	}
-	status, respBody, err := s.cluster.fwd.Forward(owner, path, body)
-	if err != nil {
-		s.cluster.fallbacks.Add(1)
-		return proxiedResponse{}, false
+	for i, t := range targets {
+		status, respBody, err := s.cluster.fwd.Forward(t, path, body)
+		if err != nil {
+			continue
+		}
+		if i > 0 {
+			s.cluster.replicaHits.Add(1)
+		}
+		return proxiedResponse{status: status, body: respBody}, true
 	}
-	return proxiedResponse{status: status, body: respBody}, true
+	s.cluster.fallbacks.Add(1)
+	return proxiedResponse{}, false
+}
+
+// replicate writes a freshly evaluated cache entry through to the key's
+// other owners, fire-and-forget: each write rides the forwarder's bounded
+// async queue (dropped under backpressure, never blocking the request that
+// produced the entry) and the receiving peer's /v1/replicate handler only
+// inserts into its local cache — it never forwards or re-replicates, so
+// replication traffic cannot cycle. owners and owned come from route for
+// the same request (one ring walk serves both routing and write-through);
+// only an owner replicates — a non-owner that evaluated a key because
+// every owner was down has nowhere useful to write.
+func (s *Server) replicate(key string, val any, owners []string, owned bool) {
+	c := s.cluster
+	if c == nil || c.rf < 2 || !owned || len(owners) == 0 {
+		return
+	}
+	body, err := marshalReplicate(key, val)
+	if err != nil {
+		return
+	}
+	for _, o := range owners {
+		if o == c.self {
+			continue
+		}
+		if c.fwd.ForwardAsync(o, "/v1/replicate", body) {
+			c.repWrites.Add(1)
+		} else {
+			c.repDrops.Add(1)
+		}
+	}
+}
+
+// maxReplicateBytes bounds one /v1/replicate body. Entries are ranked
+// grids (at most a few hundred recommendations, plus transformed sources),
+// far below this; the cap exists so a confused or hostile peer cannot make
+// the handler buffer arbitrary payloads.
+const maxReplicateBytes = 4 << 20
+
+// handleReplicate accepts a write-through from a peer that just evaluated
+// a key this process replicates. The body is the cache-snapshot schema
+// (snapshot.go) holding one entry; it is inserted into the local
+// advise-response cache and nothing else happens — no forwarding, no
+// re-replication, no evaluation — which is the loop guard that keeps
+// replication traffic acyclic by construction.
+//
+// The sender must identify itself as a ring member via the forwarded-by
+// header (the forwarder's async path sets it). This is trust-model
+// consistency, not authentication — the tier has none anywhere — but it
+// keeps the only cache-writing endpoint from accepting writes from
+// clients that know nothing about the cluster.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	s.counters.replicate.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	c := s.cluster
+	if c == nil {
+		s.fail(w, http.StatusConflict, "replication requires cluster mode")
+		return
+	}
+	if from := r.Header.Get(shard.ForwardedByHeader); !c.ring.Contains(from) {
+		s.fail(w, http.StatusForbidden, "replicate writes must come from a ring member")
+		return
+	}
+	n, err := s.RestoreCache(http.MaxBytesReader(w, r.Body, maxReplicateBytes))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad replicate body: %v", err)
+		return
+	}
+	c.replicatedIn.Add(uint64(n))
+	s.writeJSON(w, http.StatusOK, map[string]int{"accepted": n})
+}
+
+// marshalReplicate renders one cache entry in the snapshot schema, the
+// wire format of POST /v1/replicate.
+func marshalReplicate(key string, val any) ([]byte, error) {
+	snap := cacheSnapshot{Version: snapshotVersion}
+	switch v := val.(type) {
+	case []advisor.Recommendation:
+		snap.Advise = []adviseSnap{adviseSnapOf(key, v)}
+	case float64:
+		snap.Predict = []predictSnap{{Key: key, US: v}}
+	default:
+		return nil, fmt.Errorf("serve: unreplicatable cache value %T", val)
+	}
+	return json.Marshal(snap)
 }
 
 // writeProxied relays a peer's response verbatim.
@@ -189,6 +353,37 @@ type RingMember struct {
 	Errors   uint64 `json:"errors,omitempty"`
 }
 
+// ReplicationStats is the replication section of /v1/ring and
+// /v1/stats.cluster, present only when the replication factor is above 1
+// (an RF=1 tier keeps the exact pre-replication payload).
+type ReplicationStats struct {
+	// Factor is how many ring successors own each key.
+	Factor int `json:"factor"`
+	// Writes counts cache entries this process enqueued for write-through
+	// to replica peers after evaluating a key it owns.
+	Writes uint64 `json:"writes"`
+	// WriteDrops counts write-throughs dropped because the bounded async
+	// queue was full — backpressure sheds replication, never requests.
+	WriteDrops uint64 `json:"write_drops"`
+	// WriteErrors counts write-throughs that reached no replica (the peer
+	// was unreachable or rejected the write).
+	WriteErrors uint64 `json:"write_errors"`
+	// ReplicatedIn counts entries this process accepted into its cache via
+	// POST /v1/replicate.
+	ReplicatedIn uint64 `json:"replicated_in"`
+	// ReplicaHits counts forwards this process had answered by a replica
+	// after the key's primary owner was unreachable — cache warmth that
+	// survived a peer death.
+	ReplicaHits uint64 `json:"replica_hits"`
+}
+
+// KeyOwners reports one key's owner list (GET /v1/ring?key=K): the
+// primary owner first, replicas in failover order after it.
+type KeyOwners struct {
+	Key    string   `json:"key"`
+	Owners []string `json:"owners"`
+}
+
 // RingResponse is the GET /v1/ring payload (also embedded in /v1/stats as
 // "cluster"). Outside cluster mode only Enabled=false is meaningful.
 type RingResponse struct {
@@ -200,9 +395,15 @@ type RingResponse struct {
 	// (this process answered them as owner). Deliberately not omitempty:
 	// operators and the CI smoke read these as plain numbers even at zero.
 	ForwardedIn uint64 `json:"forwarded_in"`
-	// LocalFallbacks counts requests this process owned out to a peer that
-	// was unreachable and served locally instead.
+	// LocalFallbacks counts requests whose every owner was unreachable,
+	// served locally instead.
 	LocalFallbacks uint64 `json:"local_fallbacks"`
+	// Replication is the replicated-ownership view; nil when the factor
+	// is 1 (no replication configured).
+	Replication *ReplicationStats `json:"replication,omitempty"`
+	// KeyOwners answers a ?key= query with that key's owner list; nil
+	// otherwise.
+	KeyOwners *KeyOwners `json:"key_owners,omitempty"`
 }
 
 // Ring snapshots the cluster view (the /v1/ring payload).
@@ -217,6 +418,17 @@ func (s *Server) Ring() RingResponse {
 		VNodes:         c.ring.VNodes(),
 		ForwardedIn:    c.forwardedIn.Load(),
 		LocalFallbacks: c.fallbacks.Load(),
+	}
+	if c.rf > 1 {
+		async := c.fwd.Async()
+		resp.Replication = &ReplicationStats{
+			Factor:       c.rf,
+			Writes:       c.repWrites.Load(),
+			WriteDrops:   c.repDrops.Load(),
+			WriteErrors:  async.Errors,
+			ReplicatedIn: c.replicatedIn.Load(),
+			ReplicaHits:  c.replicaHits.Load(),
+		}
 	}
 	ownership := c.ring.Ownership()
 	peerStats := map[string]shard.PeerStats{}
@@ -241,5 +453,12 @@ func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.writeJSON(w, http.StatusOK, s.Ring())
+	resp := s.Ring()
+	if key := r.URL.Query().Get("key"); key != "" && s.cluster != nil {
+		resp.KeyOwners = &KeyOwners{
+			Key:    key,
+			Owners: s.cluster.ring.Owners(key, s.cluster.rf),
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -25,8 +25,14 @@ type clusterPeer struct {
 }
 
 // startCluster boots n peers serving identical backends and enables
-// cluster mode on each with the full member list.
+// cluster mode on each with the full member list (single-owner, rf=1).
 func startCluster(t *testing.T, n int) []*clusterPeer {
+	t.Helper()
+	return startClusterRF(t, n, 1)
+}
+
+// startClusterRF is startCluster with a replication factor.
+func startClusterRF(t *testing.T, n, rf int) []*clusterPeer {
 	t.Helper()
 	peers := make([]*clusterPeer, n)
 	var urls []string
@@ -38,11 +44,23 @@ func startCluster(t *testing.T, n int) []*clusterPeer {
 		urls = append(urls, hs.URL)
 	}
 	for i, p := range peers {
-		if err := p.srv.EnableCluster(ClusterConfig{Self: urls[i], Peers: urls}); err != nil {
+		if err := p.srv.EnableCluster(ClusterConfig{Self: urls[i], Peers: urls, Replication: rf}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	return peers
+}
+
+// peerByURL maps a base URL back to its peer.
+func peerByURL(t *testing.T, peers []*clusterPeer, url string) *clusterPeer {
+	t.Helper()
+	for _, p := range peers {
+		if p.http.URL == url {
+			return p
+		}
+	}
+	t.Fatalf("no peer serves %s", url)
+	return nil
 }
 
 // postAdviseErr sends one advise request over real HTTP and decodes the
@@ -368,6 +386,256 @@ func TestClusterForwardCollapsesConcurrentMisses(t *testing.T) {
 		t.Errorf("all %d concurrent identical misses forwarded separately; singleflight did not collapse them", clients)
 	}
 	t.Logf("%d concurrent identical misses -> %d forwards to the owner", clients, fwd)
+}
+
+// waitReplicated polls until the peer has accepted at least want entries
+// via /v1/replicate — write-through is asynchronous, so tests must wait
+// for it to land before acting on it.
+func waitReplicated(t *testing.T, p *clusterPeer, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if p.srv.cluster.replicatedIn.Load() >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer %s never accepted %d replicated entries (have %d)",
+				p.http.URL, want, p.srv.cluster.replicatedIn.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterReplicationSurvivesPrimaryDeath is the RF=2 acceptance test:
+// warming a key on its primary writes the entry through to the replica, so
+// after the primary is killed the same request — sent to a peer that owns
+// nothing of it — is answered from the replica's cache (a replica hit, not
+// a recomputation). One peer death loses no warmth.
+func TestClusterReplicationSurvivesPrimaryDeath(t *testing.T) {
+	peers := startClusterRF(t, 3, 2)
+	ring := peers[0].srv.cluster.ring
+
+	// Pick a request whose full owner list we know up front.
+	req := findOwnedBinding(t, ring, peers[0].http.URL, 20000)
+	owners := ring.Owners(adviseKeyFor(t, req), 2)
+	primary := peerByURL(t, peers, owners[0])
+	replica := peerByURL(t, peers, owners[1])
+	var third *clusterPeer
+	for _, p := range peers {
+		if p != primary && p != replica {
+			third = p
+		}
+	}
+
+	// Warm the primary directly: it evaluates, caches, and write-throughs.
+	warm := postAdvise(t, primary.http.URL, req)
+	if warm.Cached || warm.ServedBy != primary.http.URL {
+		t.Fatalf("warm request = cached:%v served_by:%q, want a primary evaluation",
+			warm.Cached, warm.ServedBy)
+	}
+	waitReplicated(t, replica, 1)
+	if pr := primary.srv.Ring().Replication; pr == nil || pr.Writes == 0 {
+		t.Fatalf("primary recorded no replication writes: %+v", pr)
+	}
+	if rr := replica.srv.Ring().Replication; rr == nil || rr.ReplicatedIn == 0 {
+		t.Fatalf("replica recorded no replicated-in entries: %+v", rr)
+	}
+
+	// The primary dies. A non-owner must now get the warmed answer through
+	// the replica — cached, attributed to the replica, counted as a
+	// replica hit, with no local_fallback (the tier never degraded).
+	primary.http.Close()
+	resp := postAdvise(t, third.http.URL, req)
+	if !resp.Cached {
+		t.Fatalf("post-death request recomputed (cached=false): %+v", resp)
+	}
+	if resp.ServedBy != replica.http.URL {
+		t.Fatalf("post-death request served by %q, want the replica %q",
+			resp.ServedBy, replica.http.URL)
+	}
+	tr := third.srv.Ring()
+	if tr.Replication == nil || tr.Replication.ReplicaHits == 0 {
+		t.Errorf("forwarding peer recorded no replica hit: %+v", tr.Replication)
+	}
+	if tr.LocalFallbacks != 0 {
+		t.Errorf("replica failover counted %d local fallbacks, want 0", tr.LocalFallbacks)
+	}
+
+	// Asked directly, the replica serves its copy as a plain local hit.
+	direct := postAdvise(t, replica.http.URL, req)
+	if !direct.Cached || direct.ServedBy != replica.http.URL {
+		t.Errorf("replica direct hit = cached:%v served_by:%q", direct.Cached, direct.ServedBy)
+	}
+}
+
+// TestClusterReplicaMissForwardsToPrimary: a replica that misses still
+// routes the request to the primary — the primary's cache and singleflight
+// keep absorbing all of the key's traffic, and the write-through then
+// lands the entry on the replica for failover.
+func TestClusterReplicaMissForwardsToPrimary(t *testing.T) {
+	peers := startClusterRF(t, 3, 2)
+	ring := peers[0].srv.cluster.ring
+
+	req := findOwnedBinding(t, ring, peers[0].http.URL, 30000)
+	owners := ring.Owners(adviseKeyFor(t, req), 2)
+	primary := peerByURL(t, peers, owners[0])
+	replica := peerByURL(t, peers, owners[1])
+
+	resp := postAdvise(t, replica.http.URL, req)
+	if resp.ServedBy != primary.http.URL {
+		t.Fatalf("replica miss served by %q, want forwarded to the primary %q",
+			resp.ServedBy, primary.http.URL)
+	}
+	// The primary's evaluation is written through to the replica, which
+	// then answers the same request from its own cache.
+	waitReplicated(t, replica, 1)
+	direct := postAdvise(t, replica.http.URL, req)
+	if !direct.Cached || direct.ServedBy != replica.http.URL {
+		t.Errorf("replicated key on the replica = cached:%v served_by:%q, want a local hit",
+			direct.Cached, direct.ServedBy)
+	}
+}
+
+// TestClusterReplicationFactorClamp: rf above the cluster size is clamped
+// to it, and rf=1 reports no replication section at all — the RF=1 wire
+// format stays byte-identical to the pre-replication tier.
+func TestClusterReplicationFactorClamp(t *testing.T) {
+	clamped := startClusterRF(t, 2, 99)
+	if rep := clamped[0].srv.Ring().Replication; rep == nil || rep.Factor != 2 {
+		t.Errorf("rf=99 on 2 peers reports %+v, want factor clamped to 2", rep)
+	}
+
+	plain := startCluster(t, 2)
+	ring := plain[0].srv.Ring()
+	if ring.Replication != nil {
+		t.Errorf("rf=1 tier reports a replication section: %+v", ring.Replication)
+	}
+	raw, err := json.Marshal(ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"replication", "key_owners"} {
+		if bytes.Contains(raw, []byte(field)) {
+			t.Errorf("rf=1 ring payload leaks %q: %s", field, raw)
+		}
+	}
+
+	s := newTestServer(t)
+	if err := s.EnableCluster(ClusterConfig{Self: "http://a:1", Peers: []string{"http://b:2"}, Replication: -1}); err == nil {
+		t.Error("negative replication factor accepted")
+	}
+}
+
+// TestReplicateEndpoint covers the write-through receiver: it rejects
+// non-cluster servers and malformed bodies, and an accepted entry becomes
+// a local cache hit.
+func TestReplicateEndpoint(t *testing.T) {
+	plain := newTestServer(t)
+	var e errorResponse
+	if rec := do(t, plain, http.MethodPost, "/v1/replicate", map[string]int{"version": 1}, &e); rec.Code != http.StatusConflict {
+		t.Errorf("replicate outside cluster mode: %d %q", rec.Code, e.Error)
+	}
+
+	peers := startClusterRF(t, 2, 2)
+	a := peers[0]
+
+	// A valid single-entry snapshot from a ring member is accepted and
+	// immediately servable.
+	req := bindN(40000)
+	key := adviseKeyFor(t, req)
+	body, err := marshalReplicate(key, []advisor.Recommendation{{Threads: 8, PredictedUS: 123}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := doRaw(t, a.srv, http.MethodPost, "/v1/replicate", body, peers[1].http.URL)
+	var accepted struct {
+		Accepted int `json:"accepted"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Code != http.StatusOK || accepted.Accepted != 1 {
+		t.Fatalf("replicate = %d %+v, want one accepted entry", rec.Code, accepted)
+	}
+	if rep := a.srv.Ring().Replication; rep == nil || rep.ReplicatedIn != 1 {
+		t.Errorf("replicated_in after accepted write = %+v", rep)
+	}
+	if _, ok := a.srv.adviseCache.Get(key); !ok {
+		t.Error("accepted replicate entry not in the cache")
+	}
+
+	// Writes without a ring-member identity, from a non-member, malformed,
+	// or with the wrong method are rejected without side effects.
+	if rec := doRaw(t, a.srv, http.MethodPost, "/v1/replicate", body, ""); rec.Code != http.StatusForbidden {
+		t.Errorf("replicate without a member identity: %d", rec.Code)
+	}
+	if rec := doRaw(t, a.srv, http.MethodPost, "/v1/replicate", body, "http://outsider:1"); rec.Code != http.StatusForbidden {
+		t.Errorf("replicate from a non-member: %d", rec.Code)
+	}
+	if rec := doRaw(t, a.srv, http.MethodPost, "/v1/replicate", []byte("{not json"), peers[1].http.URL); rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed replicate body: %d", rec.Code)
+	}
+	if rec := doRaw(t, a.srv, http.MethodGet, "/v1/replicate", nil, peers[1].http.URL); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/replicate: %d", rec.Code)
+	}
+}
+
+// TestWrongTypedCacheEntryIsAMiss: a cache entry whose value type does not
+// match its key's endpoint — reachable via a confused or hostile
+// /v1/replicate write, since keys are opaque hashes the handler cannot
+// type-check — must be recomputed and overwritten, never panic the
+// handler or be served.
+func TestWrongTypedCacheEntryIsAMiss(t *testing.T) {
+	peers := startClusterRF(t, 2, 2)
+	a := peers[0]
+	req := findOwnedBinding(t, a.srv.cluster.ring, a.http.URL, 50000)
+	key := adviseKeyFor(t, req)
+
+	// Poison the advise key with a predict-typed value, as a bad peer
+	// write would.
+	a.srv.adviseCache.Add(key, float64(42))
+	resp := postAdvise(t, a.http.URL, req)
+	if resp.Cached {
+		t.Fatal("wrong-typed entry served as a cache hit")
+	}
+	if len(resp.Recommendations) == 0 {
+		t.Fatal("recomputation after a poisoned entry returned no ranking")
+	}
+	if v, ok := a.srv.adviseCache.Get(key); !ok {
+		t.Fatal("recomputed entry not cached")
+	} else if _, ok := v.([]advisor.Recommendation); !ok {
+		t.Fatalf("poisoned entry not overwritten: %T", v)
+	}
+}
+
+// doRaw sends raw bytes through the handler, optionally identifying the
+// sender via the forwarded-by header ("" leaves it unset).
+func doRaw(t *testing.T, s *Server, method, path string, body []byte, forwardedBy string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	if forwardedBy != "" {
+		req.Header.Set(shard.ForwardedByHeader, forwardedBy)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestRingKeyOwnersQuery: GET /v1/ring?key=K reports the key's owner list
+// (primary first) straight off the ring.
+func TestRingKeyOwnersQuery(t *testing.T) {
+	peers := startClusterRF(t, 3, 2)
+	a := peers[0]
+	var ring RingResponse
+	if rec := do(t, a.srv, http.MethodGet, "/v1/ring?key=somekey", nil, &ring); rec.Code != http.StatusOK {
+		t.Fatalf("/v1/ring?key=: %d", rec.Code)
+	}
+	if ring.KeyOwners == nil || ring.KeyOwners.Key != "somekey" || len(ring.KeyOwners.Owners) != 2 {
+		t.Fatalf("key_owners = %+v, want 2 owners for somekey", ring.KeyOwners)
+	}
+	if want := a.srv.cluster.ring.Owners("somekey", 2); ring.KeyOwners.Owners[0] != want[0] || ring.KeyOwners.Owners[1] != want[1] {
+		t.Errorf("key_owners = %v, ring says %v", ring.KeyOwners.Owners, want)
+	}
 }
 
 // TestRingEndpointOutsideCluster: a plain server answers /v1/ring with

@@ -217,6 +217,7 @@ func NewServer(backends []Backend, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/ring", s.handleRing)
+	s.mux.HandleFunc("/v1/replicate", s.handleReplicate)
 	return s, nil
 }
 
@@ -233,12 +234,16 @@ func (be *backendState) modelNames() []string {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the per-model batchers after draining in-flight batches.
+// Close stops the per-model batchers after draining in-flight batches and,
+// in cluster mode, the forwarder's async replication workers.
 func (s *Server) Close() {
 	for _, be := range s.backends {
 		for _, ms := range be.models {
 			ms.batcher.Close()
 		}
+	}
+	if s.cluster != nil {
+		s.cluster.fwd.Close()
 	}
 }
 
@@ -508,26 +513,37 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	if v, ok := s.adviseCache.Get(key); ok {
 		// A local hit is served locally even if a peer owns the key: the
 		// entry is content-addressed and immutable, so it is byte-identical
-		// to whatever the owner holds, and the hop is free to skip.
-		recs = v.([]advisor.Recommendation)
-		cached = true
-		s.counters.adviseHits.Add(1)
-	} else {
+		// to whatever the owner holds, and the hop is free to skip. The
+		// comma-ok guard treats a wrong-typed entry (a malformed or hostile
+		// /v1/replicate write — keys are opaque hashes, so the handler
+		// cannot tell advise from predict values) as a miss to recompute
+		// and overwrite, never a value to trust.
+		if r2, ok := v.([]advisor.Recommendation); ok {
+			recs = r2
+			cached = true
+			s.counters.adviseHits.Add(1)
+		}
+	}
+	if !cached {
 		// The miss may belong to a peer: in cluster mode it is forwarded to
-		// the key's owner so that peer's cache and singleflight absorb all
-		// traffic for the key; an unreachable owner falls back to local
-		// evaluation — degraded (a duplicate evaluation), never failing.
-		// Forward-or-evaluate runs inside the singleflight so a burst of
-		// identical misses at a non-owner shares one proxied hop instead of
-		// each holding a connection to the owner. Top and IncludeSource are
-		// not in the cache key (a cached ranking serves any rendering), but a
-		// proxied response is already rendered, so they join the flight key —
-		// requests differing only in rendering must not share proxied bytes.
-		owner, forward := s.route(r, key)
+		// the key's owners in successor order — primary first, replicas when
+		// the primary is unreachable — so the owner's cache and singleflight
+		// absorb all traffic for the key; with every owner unreachable it
+		// falls back to local evaluation — degraded (a duplicate
+		// evaluation), never failing. An owner evaluating the miss itself
+		// writes the entry through to the key's replicas (fire-and-forget),
+		// so one peer death loses no warmth. Forward-or-evaluate runs inside
+		// the singleflight so a burst of identical misses at a non-owner
+		// shares one proxied hop instead of each holding a connection to the
+		// owner. Top and IncludeSource are not in the cache key (a cached
+		// ranking serves any rendering), but a proxied response is already
+		// rendered, so they join the flight key — requests differing only in
+		// rendering must not share proxied bytes.
+		targets, owners, owned := s.route(r, key)
 		flightKey := fmt.Sprintf("%s|t%d_s%v", key, req.Top, req.IncludeSource)
 		v, shared, err := s.flights.Do(flightKey, func() (any, error) {
-			if forward {
-				if pr, ok := s.tryForward(owner, "/v1/advise", req); ok {
+			if len(targets) > 0 {
+				if pr, ok := s.tryForward(targets, "/v1/advise", req); ok {
 					return pr, nil
 				}
 			}
@@ -544,6 +560,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			s.adviseCache.Add(key, out)
+			s.replicate(key, out, owners, owned)
 			return out, nil
 		})
 		if err != nil {
@@ -658,23 +675,29 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Teams: req.Teams, Threads: req.Threads, ServedBy: s.servedBy(),
 	}
 	if v, ok := s.adviseCache.Get(key); ok {
-		ms.predict.Add(1)
-		ms.touch()
-		resp.PredictedUS = v.(float64)
-		resp.Cached = true
-		s.writeJSON(w, http.StatusOK, resp)
-		return
+		// Comma-ok for the same reason as handleAdvise: a wrong-typed
+		// entry is a miss to overwrite, not a panic.
+		if us, ok := v.(float64); ok {
+			ms.predict.Add(1)
+			ms.touch()
+			resp.PredictedUS = us
+			resp.Cached = true
+			s.writeJSON(w, http.StatusOK, resp)
+			return
+		}
 	}
-	// Cluster mode: a missed key owned by a peer is forwarded there, with
-	// local evaluation as the fallback when the owner is unreachable (same
-	// degraded-never-failing contract as handleAdvise). As there, the
-	// forward runs inside the singleflight so identical concurrent misses
-	// share one hop; predict responses have no rendering options, so the
-	// flight key is the cache key.
-	owner, forward := s.route(r, key)
+	// Cluster mode: a missed key owned by a peer is forwarded there — the
+	// primary owner first, replicas in successor order when it is down —
+	// with local evaluation as the fallback when every owner is unreachable
+	// (same degraded-never-failing contract as handleAdvise), and the same
+	// write-through to the key's replicas after an owner evaluates. As
+	// there, the forward runs inside the singleflight so identical
+	// concurrent misses share one hop; predict responses have no rendering
+	// options, so the flight key is the cache key.
+	targets, owners, owned := s.route(r, key)
 	v, shared, err := s.flights.Do(key, func() (any, error) {
-		if forward {
-			if pr, ok := s.tryForward(owner, "/v1/predict", req); ok {
+		if len(targets) > 0 {
+			if pr, ok := s.tryForward(targets, "/v1/predict", req); ok {
 				return pr, nil
 			}
 		}
@@ -698,6 +721,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return nil, fmt.Errorf("model produced a non-finite prediction (checkpoint unavailable?)")
 		}
 		s.adviseCache.Add(key, us)
+		s.replicate(key, us, owners, owned)
 		return us, nil
 	})
 	if err != nil {

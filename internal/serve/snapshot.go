@@ -49,6 +49,20 @@ type cacheSnapshot struct {
 	Predict []predictSnap `json:"predict"`
 }
 
+// adviseSnapOf renders one cached ranking in the snapshot schema. Shared
+// by cache persistence and the /v1/replicate wire format (cluster.go),
+// which is the same schema carrying a single entry.
+func adviseSnapOf(key string, recs []advisor.Recommendation) adviseSnap {
+	as := adviseSnap{Key: key, Recs: make([]recSnap, len(recs))}
+	for i, r := range recs {
+		as.Recs[i] = recSnap{
+			Kind: r.Kind.String(), Teams: r.Teams, Threads: r.Threads,
+			PredictedUS: r.PredictedUS, Source: r.Source,
+		}
+	}
+	return as
+}
+
 // SnapshotCache writes the advise-response cache to w. Concurrent requests
 // keep running; the snapshot is a consistent-enough point-in-time copy
 // (each shard is walked under its lock).
@@ -57,14 +71,7 @@ func (s *Server) SnapshotCache(w io.Writer) error {
 	for _, item := range s.adviseCache.Items() {
 		switch v := item.Val.(type) {
 		case []advisor.Recommendation:
-			as := adviseSnap{Key: item.Key, Recs: make([]recSnap, len(v))}
-			for i, r := range v {
-				as.Recs[i] = recSnap{
-					Kind: r.Kind.String(), Teams: r.Teams, Threads: r.Threads,
-					PredictedUS: r.PredictedUS, Source: r.Source,
-				}
-			}
-			snap.Advise = append(snap.Advise, as)
+			snap.Advise = append(snap.Advise, adviseSnapOf(item.Key, v))
 		case float64:
 			snap.Predict = append(snap.Predict, predictSnap{Key: item.Key, US: v})
 		}

@@ -13,6 +13,7 @@ type requestCounters struct {
 	stats           atomic.Uint64
 	models          atomic.Uint64
 	ring            atomic.Uint64
+	replicate       atomic.Uint64
 	errors          atomic.Uint64
 	adviseHits      atomic.Uint64 // advise responses answered from cache
 	adviseCoalesced atomic.Uint64 // responses that shared another request's evaluation
@@ -44,7 +45,11 @@ type Stats struct {
 		Stats   uint64 `json:"stats"`
 		Models  uint64 `json:"models"`
 		Ring    uint64 `json:"ring"`
-		Errors  uint64 `json:"errors"`
+		// Replicate counts POST /v1/replicate arrivals (peer write-
+		// throughs); omitted at zero so non-replicated tiers keep their
+		// exact pre-replication stats payload.
+		Replicate uint64 `json:"replicate,omitempty"`
+		Errors    uint64 `json:"errors"`
 	} `json:"requests"`
 
 	AdviseCacheHits uint64 `json:"advise_cache_hits"`
@@ -73,6 +78,7 @@ func (s *Server) snapshot() Stats {
 	st.Requests.Stats = s.counters.stats.Load()
 	st.Requests.Models = s.counters.models.Load()
 	st.Requests.Ring = s.counters.ring.Load()
+	st.Requests.Replicate = s.counters.replicate.Load()
 	st.Requests.Errors = s.counters.errors.Load()
 	st.AdviseCacheHits = s.counters.adviseHits.Load()
 	st.Coalesced = s.counters.adviseCoalesced.Load()

@@ -15,7 +15,9 @@ import (
 // named peer. A receiving server must answer such a request locally, never
 // re-forward it: during a membership change two peers' rings can briefly
 // disagree about a key's owner, and the guard turns what would be a
-// forwarding loop into at most one extra hop.
+// forwarding loop into at most one extra hop. Async (replication) posts
+// carry it too, so their receiver treats them as peer traffic and never
+// fans them back out.
 const ForwardedByHeader = "X-Paragraph-Forwarded-By"
 
 // ForwardOptions tunes the peer-forwarding clients. Zero values pick
@@ -28,6 +30,12 @@ type ForwardOptions struct {
 	// MaxConnsPerPeer caps concurrent connections to one peer; idle
 	// connections up to the cap are kept for reuse. Default 8.
 	MaxConnsPerPeer int
+	// AsyncQueue bounds the fire-and-forget post queue (ForwardAsync).
+	// When it is full new posts are dropped, never blocked on — async
+	// traffic is best-effort by contract. Default 256.
+	AsyncQueue int
+	// AsyncWorkers is how many goroutines drain the async queue. Default 2.
+	AsyncWorkers int
 }
 
 func (o ForwardOptions) withDefaults() ForwardOptions {
@@ -36,6 +44,12 @@ func (o ForwardOptions) withDefaults() ForwardOptions {
 	}
 	if o.MaxConnsPerPeer <= 0 {
 		o.MaxConnsPerPeer = 8
+	}
+	if o.AsyncQueue <= 0 {
+		o.AsyncQueue = 256
+	}
+	if o.AsyncWorkers <= 0 {
+		o.AsyncWorkers = 2
 	}
 	return o
 }
@@ -47,22 +61,48 @@ type peerClient struct {
 	errors   atomic.Uint64 // transport failures (caller fell back to local)
 }
 
+// asyncPost is one queued fire-and-forget POST (a replication write).
+type asyncPost struct {
+	peer, path string
+	body       []byte
+}
+
 // Forwarder carries requests to their owning peer over HTTP. Each peer
 // gets its own client with a bounded connection pool, so a slow or dead
 // peer can exhaust only its own connections, never another peer's. Safe
 // for concurrent use.
+//
+// Besides the synchronous Forward path it offers ForwardAsync: a bounded
+// fire-and-forget queue drained by background workers, used by the serving
+// tier to write cache entries through to replica peers without adding
+// latency to the request that produced them.
 type Forwarder struct {
 	self string
 	opts ForwardOptions
 
 	mu    sync.Mutex
 	peers map[string]*peerClient
+
+	queue      chan asyncPost
+	quit       chan struct{}
+	startOnce  sync.Once
+	closeOnce  sync.Once
+	asyncSent  atomic.Uint64 // async posts answered with a 2xx status
+	asyncDrops atomic.Uint64 // async posts dropped because the queue was full
+	asyncErrs  atomic.Uint64 // async posts that reached no peer
 }
 
 // NewForwarder returns a Forwarder that identifies itself as self (the
 // value written into ForwardedByHeader).
 func NewForwarder(self string, opts ForwardOptions) *Forwarder {
-	return &Forwarder{self: self, opts: opts.withDefaults(), peers: map[string]*peerClient{}}
+	opts = opts.withDefaults()
+	return &Forwarder{
+		self:  self,
+		opts:  opts,
+		peers: map[string]*peerClient{},
+		queue: make(chan asyncPost, opts.AsyncQueue),
+		quit:  make(chan struct{}),
+	}
 }
 
 func (f *Forwarder) peer(name string) *peerClient {
@@ -83,6 +123,28 @@ func (f *Forwarder) peer(name string) *peerClient {
 	return pc
 }
 
+// post performs one loop-guarded JSON POST to peer+path on the peer's
+// bounded client. Shared by the synchronous and async paths; counting is
+// the caller's job because the two paths have different counters.
+func (f *Forwarder) post(pc *peerClient, peer, path string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequest(http.MethodPost, peer+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, fmt.Errorf("shard: building forward to %s: %w", peer, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedByHeader, f.self)
+	resp, err := pc.client.Do(req)
+	if err != nil {
+		return 0, nil, fmt.Errorf("shard: forwarding to %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, fmt.Errorf("shard: reading forward response from %s: %w", peer, err)
+	}
+	return resp.StatusCode, out, nil
+}
+
 // Forward POSTs body (JSON) to peer+path with the loop-guard header set and
 // returns the peer's status code and response body. Any HTTP response —
 // including an error status — counts as a successful forward: the owner
@@ -91,26 +153,60 @@ func (f *Forwarder) peer(name string) *peerClient {
 // truncated response); the caller should fall back to serving locally.
 func (f *Forwarder) Forward(peer, path string, body []byte) (int, []byte, error) {
 	pc := f.peer(peer)
-	req, err := http.NewRequest(http.MethodPost, peer+path, bytes.NewReader(body))
+	status, out, err := f.post(pc, peer, path, body)
 	if err != nil {
 		pc.errors.Add(1)
-		return 0, nil, fmt.Errorf("shard: building forward to %s: %w", peer, err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(ForwardedByHeader, f.self)
-	resp, err := pc.client.Do(req)
-	if err != nil {
-		pc.errors.Add(1)
-		return 0, nil, fmt.Errorf("shard: forwarding to %s: %w", peer, err)
-	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	if err != nil {
-		pc.errors.Add(1)
-		return 0, nil, fmt.Errorf("shard: reading forward response from %s: %w", peer, err)
+		return 0, nil, err
 	}
 	pc.forwards.Add(1)
-	return resp.StatusCode, out, nil
+	return status, out, nil
+}
+
+// ForwardAsync enqueues a fire-and-forget POST to peer+path and returns
+// immediately. The post is carried by a background worker on the peer's
+// bounded client; nothing is retried and no result is reported back. When
+// the queue is full the post is dropped (counted in AsyncStats.Dropped)
+// rather than blocking the caller — async traffic exists to shed work off
+// the request path, so backpressure must never travel back up it. The
+// return value reports whether the post was accepted into the queue.
+func (f *Forwarder) ForwardAsync(peer, path string, body []byte) bool {
+	f.startOnce.Do(func() {
+		for i := 0; i < f.opts.AsyncWorkers; i++ {
+			go f.drainAsync()
+		}
+	})
+	select {
+	case f.queue <- asyncPost{peer: peer, path: path, body: body}:
+		return true
+	default:
+		f.asyncDrops.Add(1)
+		return false
+	}
+}
+
+// drainAsync is one async worker: it posts queued jobs until Close.
+func (f *Forwarder) drainAsync() {
+	for {
+		select {
+		case <-f.quit:
+			return
+		case job := <-f.queue:
+			pc := f.peer(job.peer)
+			status, _, err := f.post(pc, job.peer, job.path, job.body)
+			if err != nil || status/100 != 2 {
+				f.asyncErrs.Add(1)
+			} else {
+				f.asyncSent.Add(1)
+			}
+		}
+	}
+}
+
+// Close stops the async workers. Queued posts that have not been picked up
+// are abandoned (they were fire-and-forget). Synchronous Forward keeps
+// working; Close exists so a shutting-down server does not leak workers.
+func (f *Forwarder) Close() {
+	f.closeOnce.Do(func() { close(f.quit) })
 }
 
 // PeerStats is one peer's forwarding counters.
@@ -135,4 +231,26 @@ func (f *Forwarder) Stats() []PeerStats {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
 	return out
+}
+
+// AsyncStats snapshots the fire-and-forget queue's counters.
+type AsyncStats struct {
+	// Sent counts posts a peer answered with a 2xx status.
+	Sent uint64
+	// Dropped counts posts rejected because the queue was full.
+	Dropped uint64
+	// Errors counts posts that reached no peer or got a non-2xx answer.
+	Errors uint64
+	// Queued is the queue's current depth.
+	Queued int
+}
+
+// Async snapshots the async-path counters.
+func (f *Forwarder) Async() AsyncStats {
+	return AsyncStats{
+		Sent:    f.asyncSent.Load(),
+		Dropped: f.asyncDrops.Load(),
+		Errors:  f.asyncErrs.Load(),
+		Queued:  len(f.queue),
+	}
 }

@@ -115,7 +115,7 @@ func Hash64(s string) uint64 {
 
 // Owner returns the member owning key: the first virtual node at or after
 // the key's hash, wrapping past the top of the ring. The result depends
-// only on the member set, vnodes, and key.
+// only on the member set, vnodes, and key. Owner(k) == Owners(k, 1)[0].
 func (r *Ring) Owner(key string) string {
 	h := Hash64(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
@@ -123,6 +123,40 @@ func (r *Ring) Owner(key string) string {
 		i = 0
 	}
 	return r.members[r.points[i].member]
+}
+
+// Owners returns the key's successor list: the first rf distinct members
+// whose virtual nodes follow the key's hash clockwise around the ring.
+// Owners[0] is the primary owner (identical to Owner); the rest are the
+// key's replicas in failover order. rf is clamped to [1, len(members)].
+//
+// Like Owner, the result depends only on the member set, vnodes, and key,
+// so every peer of a cluster computes the same list. Successor lists keep
+// the consistent-hashing disruption bound: removing a member changes only
+// the lists that contained it (each loses that member and gains the next
+// distinct successor), and adding one only inserts it into the lists of
+// keys it now serves — no key's list ever reshuffles among survivors (see
+// TestRingOwnersMinimalDisruption).
+func (r *Ring) Owners(key string, rf int) []string {
+	if rf < 1 {
+		rf = 1
+	}
+	if rf > len(r.members) {
+		rf = len(r.members)
+	}
+	h := Hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	owners := make([]string, 0, rf)
+	seen := make(map[int32]bool, rf)
+	for j := 0; len(owners) < rf; j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		owners = append(owners, r.members[p.member])
+	}
+	return owners
 }
 
 // Members returns the ring's member names, sorted. The slice is shared;

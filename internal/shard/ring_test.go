@@ -163,6 +163,142 @@ func TestRingContains(t *testing.T) {
 	}
 }
 
+// TestRingOwnersBasics: the successor list has exactly rf distinct
+// members, starts with the primary owner, clamps rf to the member count,
+// and is identical across rings built from any ordering of the same
+// member set — every peer of a cluster computes the same failover order.
+func TestRingOwnersBasics(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := NewRing([]string{members[2], members[0], members[3], members[1]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(2000) {
+		owners := r.Owners(k, 2)
+		if len(owners) != 2 || owners[0] == owners[1] {
+			t.Fatalf("Owners(%s, 2) = %v, want 2 distinct members", k, owners)
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("Owners(%s, 2)[0] = %s, Owner = %s", k, owners[0], r.Owner(k))
+		}
+		other := shuffled.Owners(k, 2)
+		if owners[0] != other[0] || owners[1] != other[1] {
+			t.Fatalf("owner list differs across member orderings: %v vs %v", owners, other)
+		}
+	}
+	if got := r.Owners("k", 0); len(got) != 1 {
+		t.Errorf("Owners(k, 0) = %v, want clamped to 1", got)
+	}
+	all := r.Owners("k", 99)
+	if len(all) != len(members) {
+		t.Fatalf("Owners(k, 99) = %v, want clamped to %d members", all, len(members))
+	}
+	seen := map[string]bool{}
+	for _, o := range all {
+		if seen[o] {
+			t.Fatalf("Owners(k, 99) repeats %s: %v", o, all)
+		}
+		seen[o] = true
+	}
+}
+
+// TestRingOwnersSlotBalance: each successor slot must be balanced on its
+// own — every member should be the primary for ~1/N of keys AND the first
+// replica for ~1/N of keys, with the sampled primary share agreeing with
+// the exact arc fractions. A ring that smooths slot 0 but clumps slot 1
+// would concentrate replica traffic (and failover load) on few peers.
+func TestRingOwnersSlotBalance(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := keys(20000)
+	perSlot := [2]map[string]int{{}, {}}
+	for _, k := range sample {
+		for slot, m := range r.Owners(k, 2) {
+			perSlot[slot][m]++
+		}
+	}
+	frac := r.Ownership()
+	for slot := range perSlot {
+		for _, m := range members {
+			got := float64(perSlot[slot][m]) / float64(len(sample))
+			if got < 0.10 || got > 0.45 {
+				t.Errorf("member %s holds %.3f of slot %d; want within [0.10, 0.45] of ideal 0.25", m, got, slot)
+			}
+			if slot == 0 {
+				if diff := math.Abs(got - frac[m]); diff > 0.02 {
+					t.Errorf("member %s: sampled primary share %.3f vs arc share %.3f", m, got, frac[m])
+				}
+			}
+		}
+	}
+}
+
+// TestRingOwnersMinimalDisruption is the replicated consistent-hashing
+// contract: removing a member changes only the owner lists that contained
+// it — every key whose list did not include the removed member keeps an
+// identical list, and every key whose list did keeps its surviving owners
+// (in order) and gains exactly one new member at the end of the walk.
+func TestRingOwnersMinimalDisruption(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	full, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := members[2]
+	reduced, err := NewRing([]string{members[0], members[1], members[3]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rf = 2
+	changed := 0
+	for _, k := range keys(20000) {
+		before, after := full.Owners(k, rf), reduced.Owners(k, rf)
+		had := false
+		for _, o := range before {
+			if o == removed {
+				had = true
+			}
+		}
+		if !had {
+			for i := range before {
+				if after[i] != before[i] {
+					t.Fatalf("key %s owner list changed %v -> %v although %s was not in it",
+						k, before, after, removed)
+				}
+			}
+			continue
+		}
+		changed++
+		// Survivors keep their relative order; the freed slot is filled by
+		// a new member, never by reshuffling existing owners.
+		survivors := make([]string, 0, rf)
+		for _, o := range before {
+			if o != removed {
+				survivors = append(survivors, o)
+			}
+		}
+		for i, sv := range survivors {
+			if after[i] != sv {
+				t.Fatalf("key %s: surviving owner order broke %v -> %v", k, before, after)
+			}
+		}
+	}
+	// A member appears in roughly rf/N of the owner lists, so its removal
+	// should disturb about that share and no more.
+	frac := float64(changed) / 20000
+	if frac < 0.25 || frac > 0.75 {
+		t.Errorf("removal changed %.3f of rf=2 owner lists; want ~%.2f", frac, float64(rf)/float64(len(members)))
+	}
+}
+
 func BenchmarkRingOwner(b *testing.B) {
 	members := make([]string, 8)
 	for i := range members {
@@ -176,5 +312,23 @@ func BenchmarkRingOwner(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Owner(ks[i%len(ks)])
+	}
+}
+
+// BenchmarkRingOwners prices the successor-list walk against the single
+// Owner lookup above — the per-request routing cost of replication.
+func BenchmarkRingOwners(b *testing.B) {
+	members := make([]string, 8)
+	for i := range members {
+		members[i] = fmt.Sprintf("http://peer-%d:8080", i)
+	}
+	r, err := NewRing(members, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ks := keys(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Owners(ks[i%len(ks)], 2)
 	}
 }
