@@ -311,14 +311,60 @@ func benchSample(b *testing.B) *gnn.Sample {
 	return &gnn.Sample{G: eg, Feats: [2]float64{0.5, 0.5}, Target: 0.4}
 }
 
-// BenchmarkGNNForward measures one inference pass of the RGAT model.
+// BenchmarkGNNForward measures one inference pass of the RGAT model
+// (engine path; steady state reports 0 allocs/op).
 func BenchmarkGNNForward(b *testing.B) {
 	s := benchSample(b)
 	m := gnn.NewModel(gnn.Config{Seed: 1, Relations: int(paragraph.NumEdgeTypes)})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.Predict(s)
 	}
+}
+
+// BenchmarkPredictFastPath compares the tape path (the pre-engine Predict:
+// a fresh inference tape and a fresh matrix per op) against the pooled
+// fused engine, single-sample and across a 32-sample batch. The engine
+// batch path additionally fans across cores; tape-batch mirrors the old
+// serial PredictBatch loop.
+func BenchmarkPredictFastPath(b *testing.B) {
+	s := benchSample(b)
+	m := gnn.NewModel(gnn.Config{Seed: 1, Relations: int(paragraph.NumEdgeTypes)})
+	batch := make([]*gnn.Sample, 32)
+	for i := range batch {
+		clone := *s
+		clone.Feats = [2]float64{float64(i) / 32, 0.5}
+		batch[i] = &clone
+	}
+	b.Run("tape-single", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = m.PredictTape(s)
+		}
+	})
+	b.Run("engine-single", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = m.Predict(s)
+		}
+	})
+	b.Run("tape-batch-32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, bs := range batch {
+				_ = m.PredictTape(bs)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*32), "ns/sample")
+	})
+	b.Run("engine-batch-32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = m.PredictBatch(batch)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*32), "ns/sample")
+	})
 }
 
 // BenchmarkGNNTrainStep measures one forward+backward+accumulate pass.
@@ -444,6 +490,7 @@ func benchAdvise(b *testing.B, s *serve.Server, n float64) *httptest.ResponseRec
 // whole variant grid (the serial-CLI cost, now under the service).
 func BenchmarkServeAdviseCold(b *testing.B) {
 	s := benchServer(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchAdvise(b, s, float64(64+i))
@@ -456,6 +503,7 @@ func BenchmarkServeAdviseCold(b *testing.B) {
 func BenchmarkServeAdviseCached(b *testing.B) {
 	s := benchServer(b)
 	benchAdvise(b, s, 256) // warm the cache
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rec := benchAdvise(b, s, 256)
@@ -555,6 +603,7 @@ func benchClusterFindKeys(b *testing.B, urls [2]string) (localN, forwardedN floa
 func BenchmarkServeAdviseClusterLocal(b *testing.B) {
 	urls := benchCluster(b)
 	localN, _ := benchClusterFindKeys(b, urls)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchClusterAdvise(b, urls[0], localN)
@@ -568,6 +617,7 @@ func BenchmarkServeAdviseClusterLocal(b *testing.B) {
 func BenchmarkServeAdviseClusterForwarded(b *testing.B) {
 	urls := benchCluster(b)
 	_, forwardedN := benchClusterFindKeys(b, urls)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if out := benchClusterAdvise(b, urls[0], forwardedN); i == 0 && out.ServedBy != urls[1] {
@@ -597,6 +647,7 @@ func BenchmarkServeAdviseClusterReplicated(b *testing.B) {
 			b.Fatalf("replica copy never landed on peer A (served_by=%s)", out.ServedBy)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		benchClusterAdvise(b, urls[0], forwardedN)
@@ -655,6 +706,7 @@ func BenchmarkPredictBatch(b *testing.B) {
 			batch[i] = &clone
 		}
 		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = m.PredictBatch(batch)
 			}
@@ -662,6 +714,7 @@ func BenchmarkPredictBatch(b *testing.B) {
 		})
 	}
 	b.Run("unbatched-32", func(b *testing.B) {
+		b.ReportAllocs()
 		clone := *s
 		for i := 0; i < b.N; i++ {
 			for j := 0; j < 32; j++ {

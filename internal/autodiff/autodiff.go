@@ -6,6 +6,13 @@
 //
 // A Tape is single-goroutine; data-parallel training gives each worker its
 // own tape and merges parameter gradients afterwards (package nn).
+//
+// The tape is the training path and the reference semantics for inference:
+// gnn's fused engine (gnn/infer.go) reproduces each op's forward arithmetic
+// — loop body and accumulation order — without tape or per-op allocation,
+// and an equivalence fuzz pins the two together. Changing a forward formula
+// here therefore requires the matching engine change (the gnn tests fail
+// loudly if they drift).
 package autodiff
 
 import (

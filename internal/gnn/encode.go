@@ -36,6 +36,24 @@ type Graph struct {
 	// WScale divides LogW before it enters attention logits; the dataset
 	// fits it so weights land in [0, 1] (the paper's MinMaxScaler).
 	WScale float64
+
+	// planBox caches the graph's InferencePlan (see infer.go). It is a
+	// pointer so shallow header copies (advisor.EncodeInstance clones the
+	// header to override WScale) share one cached plan, and so the plan
+	// rides along with the graph in the serving tier's encode cache. Encode
+	// installs it; hand-built graphs may leave it nil (InitPlanCache adds
+	// it) at the cost of re-deriving the plan on every prediction.
+	planBox *planBox
+}
+
+// InitPlanCache attaches the lazy inference-plan cache Encode installs
+// automatically, for graphs assembled by hand (tests, custom encoders).
+// Call it before the graph is shared across goroutines; predictions work
+// without it but re-derive the edge-ordering plan on every forward pass.
+func (g *Graph) InitPlanCache() {
+	if g.planBox == nil {
+		g.planBox = &planBox{}
+	}
 }
 
 // Encode converts a built graph into model form. numRelations must be at
@@ -54,6 +72,7 @@ func Encode(g *graph.Graph, numRelations int) (*Graph, error) {
 		Feats:    tensor.New(g.NumNodes(), 1),
 		Rels:     make([]Relation, numRelations),
 		WScale:   1,
+		planBox:  &planBox{},
 	}
 	for i, n := range g.Nodes {
 		eg.Kinds[i] = n.Kind

@@ -1,0 +1,351 @@
+package gnn
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"paragraph/internal/tensor"
+)
+
+// This file is the inference engine: the allocation-free forward pass behind
+// Predict/PredictBatch. The autodiff tape (Forward) remains the training
+// path and the reference semantics; the engine reproduces its arithmetic
+// operation for operation — same kernel loop bodies, same accumulation
+// order — so predictions agree bit for bit (TestInferEngineMatchesTape
+// enforces ≤ 1e-12, and in practice the difference is exactly zero).
+//
+// Two precomputed structures make the hot path cheap:
+//
+//   - InferencePlan: per encoded Graph, derived once and cached in the graph
+//     (and therefore in the serving tier's encode cache). It re-orders each
+//     relation's edge list CSR-style — grouped by destination node, original
+//     order preserved within a group — so attention softmax and message
+//     aggregation become one loop nest over contiguous runs instead of six
+//     tape ops materializing six fresh matrices.
+//
+//   - inferWorkspace: the scratch matrices of one forward pass, sized from
+//     the model Config and graph shape, backed by a tensor.Arena and pooled
+//     on the Model via sync.Pool. In steady state a forward pass performs
+//     zero heap allocations (asserted by TestInferForwardZeroAllocs).
+
+// relPlan is one relation's edges re-ordered by destination node.
+type relPlan struct {
+	src      []int     // source node per edge, destination-grouped
+	logW     []float64 // raw log1p edge weight per edge, same order
+	runStart []int     // len(runs)+1 offsets into src/logW
+	runDst   []int     // destination node of each run
+	incident []int     // sorted union of source and destination nodes
+}
+
+// InferencePlan is the per-graph constant structure of the fused RGAT path:
+// destination-grouped edge lists for every relation plus the longest
+// attention segment (which sizes the softmax scratch buffer). It depends
+// only on the graph topology — not on WScale or any model parameter — so
+// one plan serves every model and every advisor-scaled view of the graph.
+type InferencePlan struct {
+	rels   []relPlan
+	maxRun int
+}
+
+// planBox lazily caches a graph's InferencePlan. It is shared by pointer
+// across shallow Graph-header copies, so the plan is computed once per
+// encoded graph no matter how many advisors re-scale it.
+type planBox struct {
+	mu   sync.Mutex
+	plan atomic.Pointer[InferencePlan]
+}
+
+// plan returns the graph's InferencePlan, building and caching it on first
+// use. Graphs without a plan cache (hand-built, no InitPlanCache) get a
+// fresh plan per call — correct, just not allocation-free.
+func (g *Graph) plan() *InferencePlan {
+	b := g.planBox
+	if b == nil {
+		return buildPlan(g)
+	}
+	if p := b.plan.Load(); p != nil {
+		return p
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p := b.plan.Load(); p != nil {
+		return p
+	}
+	p := buildPlan(g)
+	b.plan.Store(p)
+	return p
+}
+
+// buildPlan groups each relation's edges by destination with a stable
+// counting sort. Stability matters for exactness: within one destination the
+// edges keep their original order, so softmax sums and scatter-adds
+// accumulate in the same sequence as the tape ops.
+func buildPlan(g *Graph) *InferencePlan {
+	p := &InferencePlan{rels: make([]relPlan, len(g.Rels))}
+	for r := range g.Rels {
+		rel := &g.Rels[r]
+		e := len(rel.Src)
+		if e == 0 {
+			continue
+		}
+		rp := &p.rels[r]
+		start := make([]int, g.NumNodes+1)
+		for _, d := range rel.Dst {
+			start[d+1]++
+		}
+		runs := 0
+		for d := 0; d < g.NumNodes; d++ {
+			if start[d+1] > 0 {
+				runs++
+				if start[d+1] > p.maxRun {
+					p.maxRun = start[d+1]
+				}
+			}
+			start[d+1] += start[d]
+		}
+		rp.src = make([]int, e)
+		rp.logW = make([]float64, e)
+		next := make([]int, g.NumNodes)
+		copy(next, start[:g.NumNodes])
+		for i, d := range rel.Dst {
+			slot := next[d]
+			next[d]++
+			rp.src[slot] = rel.Src[i]
+			rp.logW[slot] = rel.LogW[i]
+		}
+		rp.runStart = make([]int, 0, runs+1)
+		rp.runDst = make([]int, 0, runs)
+		for d := 0; d < g.NumNodes; d++ {
+			if start[d+1] > start[d] {
+				rp.runStart = append(rp.runStart, start[d])
+				rp.runDst = append(rp.runDst, d)
+			}
+		}
+		rp.runStart = append(rp.runStart, e)
+		// Incident nodes: the only rows of q/srcScore/dstScore the relation
+		// ever reads. Most ParaGraph relations touch a small fraction of the
+		// graph, so restricting the per-relation projections to this list
+		// (exact — rows are computed independently) cuts the dominant
+		// N·H² matmul cost to incident·H².
+		seen := make([]bool, g.NumNodes)
+		for _, s := range rel.Src {
+			seen[s] = true
+		}
+		for _, d := range rel.Dst {
+			seen[d] = true
+		}
+		for i, ok := range seen {
+			if ok {
+				rp.incident = append(rp.incident, i)
+			}
+		}
+	}
+	return p
+}
+
+// inferWorkspace holds every scratch buffer one engine forward pass needs.
+// Matrices are stored by value (headers owned here, data owned by the
+// arena), so re-running a pass over a same-shaped graph touches no
+// allocator at all. Workspaces are pooled per Model and used by one
+// goroutine at a time.
+type inferWorkspace struct {
+	arena tensor.Arena
+
+	h        tensor.Matrix // N×H node embeddings (layer input)
+	layerOut tensor.Matrix // N×H convolution accumulator
+	q        tensor.Matrix // N×H per-relation projected features
+	scatter  tensor.Matrix // N×H per-relation aggregated messages
+	srcScore tensor.Matrix // N×1 source attention scores
+	dstScore tensor.Matrix // N×1 destination attention scores
+	logits   []float64     // longest-run softmax scratch
+
+	pooled  tensor.Matrix // 1×H mean-pooled graph embedding
+	emb     tensor.Matrix // 1×H fc1 output
+	emb2    tensor.Matrix // 1×H fc2 output
+	featIn  tensor.Matrix // 1×2 (teams, threads) input row
+	featEmb tensor.Matrix // 1×F feature-branch embedding
+	concat  tensor.Matrix // 1×(H+F) head input
+	outBuf  tensor.Matrix // 1×1 prediction
+}
+
+// acquireWS takes a pooled workspace (allocating the empty shell only the
+// first few times under concurrency).
+func (m *Model) acquireWS() *inferWorkspace {
+	return m.wsPool.Get().(*inferWorkspace)
+}
+
+func (m *Model) releaseWS(ws *inferWorkspace) { m.wsPool.Put(ws) }
+
+// inferForward runs one engine forward pass: fused node-feature assembly,
+// the fused RGAT convolutions, mean pooling, and the two-branch head. It
+// mirrors Model.Forward (the tape path) operation for operation.
+func (m *Model) inferForward(ws *inferWorkspace, s *Sample) float64 {
+	g := s.G
+	p := g.plan()
+	n, hdim := g.NumNodes, m.cfg.Hidden
+	ar := &ws.arena
+
+	// Node features: kind embedding + sub-kind embedding + scalar feature
+	// projected through featVec, fused into one pass over the rows. The
+	// f != 0 guard mirrors the tape's MatMul skip-zero fast path so signed
+	// zeros cannot drift.
+	ar.GetMatrix(&ws.h, n, hdim)
+	kt, st := m.kindEmb.Table.Value, m.subEmb.Table.Value
+	fv := m.featVec.Value.Row(0)
+	for i := 0; i < n; i++ {
+		krow := kt.Row(g.Kinds[i])
+		srow := st.Row(g.SubKinds[i])
+		hrow := ws.h.Row(i)
+		f := g.Feats.Data[i]
+		if f != 0 {
+			for j := range hrow {
+				hrow[j] = krow[j] + srow[j] + f*fv[j]
+			}
+		} else {
+			for j := range hrow {
+				hrow[j] = krow[j] + srow[j]
+			}
+		}
+	}
+
+	ws.logits = ar.GetSlice(ws.logits, p.maxRun)
+	for _, l := range m.layers {
+		l.infer(ws, p, g)
+		// h = ReLU(layerOut); alpha 0 keeps the tape's signed zeros.
+		tensor.LeakyReLUInto(&ws.layerOut, 0, &ws.h)
+	}
+
+	tensor.MeanRowsInto(&ws.h, &ws.pooled)
+	tensor.MatMulInto(&ws.pooled, m.fc1.W.Value, &ws.emb)
+	tensor.AddBiasInto(&ws.emb, m.fc1.B.Value, &ws.emb)
+	tensor.LeakyReLUInto(&ws.emb, 0, &ws.emb)
+	tensor.MatMulInto(&ws.emb, m.fc2.W.Value, &ws.emb2)
+	tensor.AddBiasInto(&ws.emb2, m.fc2.B.Value, &ws.emb2)
+	tensor.LeakyReLUInto(&ws.emb2, 0, &ws.emb2)
+
+	ar.GetMatrix(&ws.featIn, 1, 2)
+	ws.featIn.Data[0], ws.featIn.Data[1] = s.Feats[0], s.Feats[1]
+	tensor.MatMulInto(&ws.featIn, m.featFC.W.Value, &ws.featEmb)
+	tensor.AddBiasInto(&ws.featEmb, m.featFC.B.Value, &ws.featEmb)
+	tensor.LeakyReLUInto(&ws.featEmb, 0, &ws.featEmb)
+
+	hc, fc := ws.emb2.Cols, ws.featEmb.Cols
+	ar.GetMatrix(&ws.concat, 1, hc+fc)
+	copy(ws.concat.Data[:hc], ws.emb2.Data)
+	copy(ws.concat.Data[hc:], ws.featEmb.Data)
+	tensor.MatMulInto(&ws.concat, m.out.W.Value, &ws.outBuf)
+	tensor.AddBiasInto(&ws.outBuf, m.out.B.Value, &ws.outBuf)
+	return ws.outBuf.Data[0]
+}
+
+// infer is the fused engine counterpart of rgatLayer.apply: per relation,
+// the gather of projected rows, attention logits, LeakyReLU, segment
+// softmax, static-weight scaling and scatter-add all execute as one loop
+// nest over the plan's destination-grouped runs. Messages accumulate into a
+// zeroed scatter buffer in the same per-destination order as the tape's
+// ScatterAddRows, then fold into the layer output with one element-wise
+// add — the exact association the tape's final Add performs.
+func (l *rgatLayer) infer(ws *inferWorkspace, p *InferencePlan, g *Graph) {
+	tensor.MatMulInto(&ws.h, l.self.Value, &ws.layerOut)
+	tensor.AddBiasInto(&ws.layerOut, l.bias.Value, &ws.layerOut)
+	wscale := g.WScale
+	if wscale <= 0 {
+		wscale = 1
+	}
+	n, hdim := ws.h.Rows, ws.h.Cols
+	for r := range g.Rels {
+		if r >= len(l.w) {
+			break
+		}
+		rp := &p.rels[r]
+		if len(rp.src) == 0 {
+			continue
+		}
+		// Project only the relation's incident rows: q[i] = h[i]×W_r and the
+		// two attention scores, with the same skip-zero accumulation order as
+		// tensor.MatMul, so each computed row is bit-identical to the full
+		// product. Non-incident rows hold stale values that nothing reads.
+		ws.arena.GetMatrix(&ws.q, n, hdim)
+		ws.arena.GetMatrix(&ws.srcScore, n, 1)
+		ws.arena.GetMatrix(&ws.dstScore, n, 1)
+		wv := l.w[r].Value
+		asrc, adst := l.aSrc[r].Value.Data, l.aDst[r].Value.Data
+		for _, i := range rp.incident {
+			hrow := ws.h.Row(i)
+			qrow := ws.q.Row(i)
+			for j := range qrow {
+				qrow[j] = 0
+			}
+			for k, av := range hrow {
+				if av == 0 {
+					continue
+				}
+				wrow := wv.Row(k)
+				for j, bv := range wrow {
+					qrow[j] += av * bv
+				}
+			}
+			var ss, ds float64
+			for k, av := range qrow {
+				if av == 0 {
+					continue
+				}
+				ss += av * asrc[k]
+				ds += av * adst[k]
+			}
+			ws.srcScore.Data[i] = ss
+			ws.dstScore.Data[i] = ds
+		}
+		ws.arena.GetMatrix(&ws.scatter, n, hdim)
+		ws.scatter.Zero()
+		c := l.wCoef[r].Value.Data[0]
+		for t := 0; t+1 < len(rp.runStart); t++ {
+			lo, hi := rp.runStart[t], rp.runStart[t+1]
+			d := rp.runDst[t]
+			ds := ws.dstScore.Data[d]
+			run := ws.logits[:hi-lo]
+			mx := math.Inf(-1)
+			for i := lo; i < hi; i++ {
+				v := ws.srcScore.Data[rp.src[i]] + ds
+				if v < 0 {
+					v = l.alpha * v
+				}
+				run[i-lo] = v
+				if v > mx {
+					mx = v
+				}
+			}
+			var sum float64
+			for i, v := range run {
+				e := math.Exp(v - mx)
+				run[i] = e
+				sum += e
+			}
+			drow := ws.scatter.Row(d)
+			for i := lo; i < hi; i++ {
+				a := run[i-lo]
+				if sum > 0 {
+					a /= sum
+				}
+				// Static edge weights scale the message through the learned
+				// per-relation coefficient: (α·q)·(1 + c_r·w̃). The wt != 0
+				// guard and the two separate multiplies reproduce the tape's
+				// skip-zero MatMul and its two MulColBroadcast passes.
+				scale := 1.0
+				if !l.noWeights {
+					if wt := rp.logW[i] / wscale; wt != 0 {
+						scale = wt*c + 1
+					}
+				}
+				qrow := ws.q.Row(rp.src[i])
+				for j, qv := range qrow {
+					msg := qv * a
+					msg *= scale
+					drow[j] += msg
+				}
+			}
+		}
+		ws.layerOut.AddInPlace(&ws.scatter)
+	}
+}

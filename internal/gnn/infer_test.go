@@ -1,0 +1,206 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"paragraph/internal/paragraph"
+	"paragraph/internal/tensor"
+)
+
+// equivTolerance is the engine-vs-tape agreement the PR guarantees. The
+// engine reproduces the tape's arithmetic exactly, so the observed
+// difference is zero; the tolerance leaves headroom for architectures whose
+// compilers fuse multiply-adds.
+const equivTolerance = 1e-12
+
+// randomEncodedGraph builds an arbitrary encoded graph directly: random
+// size (including single-node), random edges per relation (including empty
+// relations and self-loops), random weights (including exact zeros).
+func randomEncodedGraph(rng *rand.Rand, numRels int) *Graph {
+	n := 1 + rng.Intn(12)
+	g := &Graph{
+		NumNodes: n,
+		Kinds:    make([]int, n),
+		SubKinds: make([]int, n),
+		Feats:    tensor.New(n, 1),
+		Rels:     make([]Relation, numRels),
+		WScale:   []float64{0, 0.5, 1, 10}[rng.Intn(4)],
+	}
+	for i := 0; i < n; i++ {
+		g.Kinds[i] = rng.Intn(40)
+		g.SubKinds[i] = rng.Intn(MaxSubKinds)
+		if rng.Float64() < 0.8 { // leave some exact-zero features
+			g.Feats.Data[i] = rng.NormFloat64()
+		}
+	}
+	for r := range g.Rels {
+		if rng.Float64() < 0.25 {
+			continue // empty relation
+		}
+		e := rng.Intn(3 * n)
+		for k := 0; k < e; k++ {
+			g.Rels[r].Src = append(g.Rels[r].Src, rng.Intn(n))
+			g.Rels[r].Dst = append(g.Rels[r].Dst, rng.Intn(n))
+			w := 0.0
+			if rng.Float64() < 0.7 {
+				w = rng.Float64() * 4
+			}
+			g.Rels[r].LogW = append(g.Rels[r].LogW, w)
+		}
+	}
+	return g
+}
+
+// TestInferEngineMatchesTape is the golden equivalence fuzz gating the fast
+// path: across random graphs (all relation counts, empty relations,
+// single-node graphs), seeds, layer counts, both plan-cache states, and the
+// DisableEdgeWeights ablation, the engine prediction must match the tape
+// path within 1e-12.
+func TestInferEngineMatchesTape(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		numRels := 1 + rng.Intn(8)
+		cfg := Config{
+			Seed:               rng.Int63n(1000),
+			Hidden:             []int{4, 8, 16}[rng.Intn(3)],
+			Layers:             1 + rng.Intn(3),
+			Relations:          numRels,
+			DisableEdgeWeights: rng.Intn(2) == 0,
+		}
+		m := NewModel(cfg)
+		g := randomEncodedGraph(rng, numRels)
+		if trial%2 == 0 {
+			g.InitPlanCache() // exercise both the cached and per-call plan paths
+		}
+		s := &Sample{G: g, Feats: [2]float64{rng.Float64(), rng.Float64()}}
+		engine := m.Predict(s)
+		tape := m.PredictTape(s)
+		if math.IsNaN(engine) || math.IsInf(engine, 0) {
+			t.Fatalf("trial %d: engine produced %v (cfg %+v)", trial, engine, cfg)
+		}
+		if d := math.Abs(engine - tape); d > equivTolerance {
+			t.Fatalf("trial %d: engine %v vs tape %v (diff %v, cfg %+v, nodes %d)",
+				trial, engine, tape, d, cfg, g.NumNodes)
+		}
+	}
+}
+
+// TestInferEngineMatchesTapeOnRealGraph repeats the equivalence check on a
+// real encoded kernel graph (the Encode path installs the plan cache) and
+// across advisor-style header copies that override WScale.
+func TestInferEngineMatchesTapeOnRealGraph(t *testing.T) {
+	for _, threads := range []int{1, 16, 128} {
+		eg := encode(t, buildTestGraph(t, threads))
+		for _, disabled := range []bool{false, true} {
+			m := NewModel(Config{Seed: 5, Hidden: 16, Layers: 3,
+				Relations: int(paragraph.NumEdgeTypes), DisableEdgeWeights: disabled})
+			for _, wscale := range []float64{1, 10} {
+				scaled := *eg // what advisor.EncodeInstance does
+				scaled.WScale = wscale
+				s := &Sample{G: &scaled, Feats: [2]float64{0.4, 0.6}}
+				engine, tape := m.Predict(s), m.PredictTape(s)
+				if d := math.Abs(engine - tape); d > equivTolerance {
+					t.Errorf("threads=%d disabled=%v wscale=%v: engine %v vs tape %v (diff %v)",
+						threads, disabled, wscale, engine, tape, d)
+				}
+			}
+		}
+	}
+}
+
+// TestInferPlanSharedAcrossHeaderCopies asserts the plan is computed once
+// per encoded graph even when many advisor-scaled header copies exist.
+func TestInferPlanSharedAcrossHeaderCopies(t *testing.T) {
+	eg := encode(t, buildTestGraph(t, 4))
+	p1 := eg.plan()
+	scaled := *eg
+	scaled.WScale = 123
+	if p2 := scaled.plan(); p2 != p1 {
+		t.Error("header copy rebuilt the inference plan instead of sharing it")
+	}
+}
+
+// TestPredictBatchConcurrentRace hammers the pooled workspaces: many
+// goroutines run overlapping PredictBatch calls (plus single Predicts) on
+// one model and every result must agree with a serial reference. Run under
+// -race (CI does) this is the workspace-safety gate.
+func TestPredictBatchConcurrentRace(t *testing.T) {
+	m := NewModel(Config{Seed: 3, Hidden: 8, Layers: 2, Relations: int(paragraph.NumEdgeTypes)})
+	rng := rand.New(rand.NewSource(4))
+	var samples []*Sample
+	for i := 0; i < 24; i++ {
+		g := randomEncodedGraph(rng, int(paragraph.NumEdgeTypes))
+		g.InitPlanCache()
+		samples = append(samples, &Sample{G: g, Feats: [2]float64{float64(i) / 24, 0.5}})
+	}
+	want := make([]float64, len(samples))
+	for i, s := range samples {
+		want[i] = m.Predict(s)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				if iter%3 == 0 {
+					s := samples[(w+iter)%len(samples)]
+					if got := m.Predict(s); got != want[(w+iter)%len(samples)] {
+						errs <- fmt.Sprintf("worker %d: single predict drifted", w)
+						return
+					}
+					continue
+				}
+				got := m.PredictBatch(samples)
+				for i := range got {
+					if got[i] != want[i] {
+						errs <- fmt.Sprintf("worker %d iter %d: sample %d = %v, want %v",
+							w, iter, i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestInferForwardZeroAllocs is the allocation regression gate: after
+// warm-up, a steady-state engine forward pass over an Encode-built graph
+// (plan cached, workspace pooled and right-sized) must not touch the heap.
+func TestInferForwardZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are only meaningful unraced")
+	}
+	eg := encode(t, buildTestGraph(t, 8))
+	eg.WScale = 10
+	s := &Sample{G: eg, Feats: [2]float64{0.5, 0.5}}
+	m := NewModel(Config{Seed: 1, Relations: int(paragraph.NumEdgeTypes)})
+	m.Predict(s) // build the plan, grow the workspace
+	if allocs := testing.AllocsPerRun(100, func() { m.Predict(s) }); allocs != 0 {
+		t.Errorf("steady-state engine forward allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestPredictBatchEmptyAndSingle pins the degenerate batch paths.
+func TestPredictBatchEmptyAndSingle(t *testing.T) {
+	m := NewModel(Config{Seed: 2, Hidden: 8, Layers: 1, Relations: int(paragraph.NumEdgeTypes)})
+	if got := m.PredictBatch(nil); len(got) != 0 {
+		t.Error("PredictBatch(nil) non-empty")
+	}
+	eg := encode(t, buildTestGraph(t, 2))
+	s := &Sample{G: eg, Feats: [2]float64{0.2, 0.8}}
+	batch := m.PredictBatch([]*Sample{s})
+	if len(batch) != 1 || batch[0] != m.Predict(s) {
+		t.Errorf("single-sample batch %v vs predict %v", batch, m.Predict(s))
+	}
+}

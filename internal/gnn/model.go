@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"paragraph/internal/autodiff"
 	"paragraph/internal/nn"
@@ -11,12 +13,18 @@ import (
 )
 
 // featRow lays the two runtime-configuration features out as a 1×2 input.
+// The tape path builds one per pass because the tape owns its inputs until
+// Backward finishes; the inference engine keeps the row in its pooled
+// workspace instead (see inferWorkspace.featIn).
 func featRow(f [2]float64) *tensor.Matrix {
 	return tensor.FromData(1, 2, []float64{f[0], f[1]})
 }
 
-// onesRow is the 1×1 constant used to offset message scales to 1 + c·w̃.
-func onesRow() *tensor.Matrix { return tensor.Scalar(1) }
+// onesRowConst is the shared 1×1 constant that offsets message scales to
+// 1 + c·w̃. It is bound read-only as a tape constant, so one package-level
+// matrix serves every pass (previously each forward allocated one per
+// relation per layer).
+var onesRowConst = tensor.Scalar(1)
 
 // Config shapes the model.
 type Config struct {
@@ -127,7 +135,7 @@ func (l *rgatLayer) apply(f *nn.Forward, g *Graph, h *autodiff.Var) *autodiff.Va
 		if !l.noWeights {
 			wcol := tp.Const(g.weightColumn(r))
 			wterm := tp.MatMul(wcol, f.Bind(l.wCoef[r]))
-			scale := tp.AddBias(wterm, tp.Const(onesRow()))
+			scale := tp.AddBias(wterm, tp.Const(onesRowConst))
 			msgs = tp.MulColBroadcast(msgs, scale)
 		}
 		out = tp.Add(out, tp.ScatterAddRows(msgs, rel.Dst, g.NumNodes))
@@ -151,6 +159,11 @@ type Model struct {
 	out    *nn.Linear // regression head
 
 	params []*nn.Parameter
+
+	// wsPool recycles inference workspaces (see infer.go) across
+	// Predict/PredictBatch calls; each borrowed workspace is used by one
+	// goroutine at a time.
+	wsPool sync.Pool
 }
 
 // NewModel constructs the model with seeded initialization.
@@ -179,6 +192,7 @@ func NewModel(cfg Config) *Model {
 	m.params = append(m.params, m.fc2.Params()...)
 	m.params = append(m.params, m.featFC.Params()...)
 	m.params = append(m.params, m.out.Params()...)
+	m.wsPool.New = func() any { return new(inferWorkspace) }
 	return m
 }
 
@@ -220,29 +234,77 @@ func (m *Model) Forward(f *nn.Forward, s *Sample) *autodiff.Var {
 	return m.out.Apply(f, tp.ConcatCols(emb, featEmb))
 }
 
-// Predict returns the scaled prediction for a sample without gradient
-// bookkeeping.
+// Predict returns the scaled prediction for a sample. It routes through the
+// inference engine (infer.go): a pooled, allocation-free forward pass whose
+// result matches the tape path (PredictTape) bit for bit.
 func (m *Model) Predict(s *Sample) float64 {
+	ws := m.acquireWS()
+	v := m.inferForward(ws, s)
+	m.releaseWS(ws)
+	return v
+}
+
+// PredictTape is the reference prediction: the autodiff tape path Forward
+// uses for training, run on an inference tape. It exists for the engine
+// equivalence tests and benchmarks; serving traffic should use Predict.
+func (m *Model) PredictTape(s *Sample) float64 {
 	f := nn.NewInference()
 	return m.Forward(f, s).Value.At(0, 0)
 }
 
-// PredictBatch returns scaled predictions for a batch of samples, sharing a
-// single inference pass across the whole batch so parameter binding and tape
-// setup are paid once instead of once per sample. Each sample's forward
-// computation is independent of its batchmates, so the results are identical
-// to calling Predict per sample. This is the fast path the serving batcher
-// (internal/serve) coalesces concurrent requests onto.
+// PredictBatch returns scaled predictions for a batch of samples, fanning
+// the batch across a bounded worker pool (at most GOMAXPROCS goroutines)
+// with one pooled engine workspace per worker. Each sample's forward
+// computation is independent of its batchmates, so the results are
+// identical to calling Predict per sample. This is the fast path the
+// serving batcher (internal/serve) coalesces concurrent requests onto.
+// PredictAll is the same fan-out with a caller-chosen worker bound.
 func (m *Model) PredictBatch(samples []*Sample) []float64 {
 	out := make([]float64, len(samples))
-	if len(samples) == 0 {
-		return out
-	}
-	f := nn.NewInference()
-	for i, s := range samples {
-		out[i] = m.Forward(f, s).Value.At(0, 0)
-	}
+	m.predictInto(out, samples, 0)
 	return out
+}
+
+// predictInto fans engine forward passes over samples across a bounded
+// worker pool, writing predictions into out (same length as samples).
+// workers <= 0 defaults to GOMAXPROCS; the bound is clamped to the sample
+// count, and a single-worker run stays on the calling goroutine.
+func (m *Model) predictInto(out []float64, samples []*Sample, workers int) {
+	if len(samples) == 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(samples) {
+		workers = len(samples)
+	}
+	if workers <= 1 {
+		ws := m.acquireWS()
+		for i, s := range samples {
+			out[i] = m.inferForward(ws, s)
+		}
+		m.releaseWS(ws)
+		return
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ws := m.acquireWS()
+			defer m.releaseWS(ws)
+			for i := range work {
+				out[i] = m.inferForward(ws, samples[i])
+			}
+		}()
+	}
+	for i := range samples {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
 }
 
 // Save writes the model weights as a checkpoint. The architecture (Config)

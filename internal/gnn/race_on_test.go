@@ -1,0 +1,8 @@
+//go:build race
+
+package gnn
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// its shadow-memory bookkeeping allocates, so allocation-count assertions
+// are skipped.
+const raceEnabled = true

@@ -159,33 +159,10 @@ func (m *Model) EvalRMSE(samples []*Sample, workers int) float64 {
 }
 
 // PredictAll returns scaled predictions for all samples, computed across
-// workers goroutines.
+// workers goroutines (<= 0 defaults to GOMAXPROCS). It shares PredictBatch's
+// engine fan-out, just with a caller-chosen worker bound.
 func (m *Model) PredictAll(samples []*Sample, workers int) []float64 {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(samples) {
-		workers = len(samples)
-	}
 	preds := make([]float64, len(samples))
-	if len(samples) == 0 {
-		return preds
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				preds[i] = m.Predict(samples[i])
-			}
-		}()
-	}
-	for i := range samples {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	m.predictInto(preds, samples, workers)
 	return preds
 }

@@ -55,7 +55,11 @@ func NewForward() *Forward {
 }
 
 // NewInference returns a pass that skips gradient bookkeeping: its tape
-// records no backward closures, so prediction allocates only values.
+// records no backward closures, so prediction allocates only values. The
+// gnn model's serving predictions no longer route through here — its fused
+// inference engine (gnn.Model.Predict) avoids per-op value allocation too —
+// but NewInference remains the reference path (gnn.Model.PredictTape) the
+// engine is verified against.
 func NewInference() *Forward {
 	return &Forward{Tape: autodiff.NewInferenceTape(), bindings: map[*Parameter]*autodiff.Var{}, train: false}
 }

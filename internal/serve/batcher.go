@@ -44,6 +44,8 @@ type Batcher struct {
 	samples    uint64
 	maxSeen    int
 	sumBatched uint64 // total samples that shared a batch with at least one other
+
+	latency latencySampler // per-Predict latency (enqueue → result)
 }
 
 type batchRequest struct {
@@ -75,14 +77,21 @@ func NewBatcher(model BatchPredictor, maxBatch int, maxWait time.Duration) *Batc
 // Predict enqueues one sample and blocks until its batch is evaluated.
 // Safe for concurrent use, including racing Close: a request that misses
 // the collector is answered by a direct (unbatched) forward pass instead
-// of panicking or hanging.
+// of panicking or hanging. Each call's end-to-end latency (batch wait
+// included — it is what callers experience) feeds the model's quantile
+// sampler, surfaced per model in /v1/stats.
 func (b *Batcher) Predict(s *gnn.Sample) float64 {
+	start := time.Now()
 	out := make(chan float64, 1)
 	select {
 	case b.reqs <- batchRequest{s: s, out: out}:
-		return <-out
+		v := <-out
+		b.latency.observe(time.Since(start))
+		return v
 	case <-b.quit:
-		return b.model.PredictBatch([]*gnn.Sample{s})[0]
+		v := b.model.PredictBatch([]*gnn.Sample{s})[0]
+		b.latency.observe(time.Since(start))
+		return v
 	}
 }
 
@@ -160,19 +169,20 @@ func (b *Batcher) flush(batch []batchRequest) {
 	}
 }
 
-// BatcherStats snapshots the batching counters.
+// BatcherStats snapshots the batching counters and the per-prediction
+// latency quantiles (the model's observable serving latency).
 type BatcherStats struct {
-	Batches        uint64  `json:"batches"`
-	Samples        uint64  `json:"samples"`
-	MaxBatch       int     `json:"max_batch"`
-	MeanBatch      float64 `json:"mean_batch"`
-	CoalescedShare float64 `json:"coalesced_share"` // fraction of samples that shared a batch
+	Batches        uint64       `json:"batches"`
+	Samples        uint64       `json:"samples"`
+	MaxBatch       int          `json:"max_batch"`
+	MeanBatch      float64      `json:"mean_batch"`
+	CoalescedShare float64      `json:"coalesced_share"` // fraction of samples that shared a batch
+	Latency        LatencyStats `json:"latency"`
 }
 
 // Stats returns a snapshot of the batcher counters.
 func (b *Batcher) Stats() BatcherStats {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	st := BatcherStats{Batches: b.batches, Samples: b.samples, MaxBatch: b.maxSeen}
 	if b.batches > 0 {
 		st.MeanBatch = float64(b.samples) / float64(b.batches)
@@ -180,5 +190,7 @@ func (b *Batcher) Stats() BatcherStats {
 	if b.samples > 0 {
 		st.CoalescedShare = float64(b.sumBatched) / float64(b.samples)
 	}
+	b.mu.Unlock()
+	st.Latency = b.latency.snapshot()
 	return st
 }

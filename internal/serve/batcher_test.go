@@ -142,3 +142,47 @@ func TestBatcherPredictAfterCloseDegradesGracefully(t *testing.T) {
 		t.Errorf("direct evaluation counted as batched: %+v", st)
 	}
 }
+
+func TestBatcherLatencyQuantiles(t *testing.T) {
+	model := &echoModel{delay: time.Millisecond}
+	b := NewBatcher(model, 4, time.Millisecond)
+	defer b.Close()
+	for i := 0; i < 20; i++ {
+		b.Predict(&gnn.Sample{Feats: [2]float64{0.5, 0}})
+	}
+	lat := b.Stats().Latency
+	if lat.Count != 20 {
+		t.Errorf("latency count = %d, want 20", lat.Count)
+	}
+	// The model sleeps 1ms per batch, so every observed latency is >= 1ms
+	// and the quantiles must reflect that (and be ordered).
+	if lat.P50MS < 0.5 {
+		t.Errorf("p50 = %vms, implausibly below the model's 1ms floor", lat.P50MS)
+	}
+	if lat.P99MS < lat.P50MS {
+		t.Errorf("p99 %v < p50 %v", lat.P99MS, lat.P50MS)
+	}
+}
+
+func TestLatencySamplerWindowAndQuantiles(t *testing.T) {
+	var s latencySampler
+	if st := s.snapshot(); st.Count != 0 || st.P50MS != 0 || st.P99MS != 0 {
+		t.Errorf("empty sampler snapshot = %+v", st)
+	}
+	// Overfill the ring: the count keeps the full history, the quantiles
+	// cover only the most recent window.
+	for i := 0; i < latencySampleSize+100; i++ {
+		s.observe(time.Duration(i) * time.Millisecond)
+	}
+	st := s.snapshot()
+	if st.Count != uint64(latencySampleSize+100) {
+		t.Errorf("count = %d", st.Count)
+	}
+	// Window holds [100, 611]ms; p50 near the middle, p99 near the top.
+	if st.P50MS < 300 || st.P50MS > 400 {
+		t.Errorf("p50 = %v, want ~356", st.P50MS)
+	}
+	if st.P99MS < 590 || st.P99MS > 611 {
+		t.Errorf("p99 = %v, want near 606", st.P99MS)
+	}
+}

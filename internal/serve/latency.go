@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencySampleSize bounds the sampler's memory; 512 recent observations
+// give stable p50/p99 estimates at serving rates without unbounded growth.
+const latencySampleSize = 512
+
+// latencySampler keeps the most recent prediction latencies in a fixed ring
+// buffer and reports order-statistic quantiles over them. One sampler per
+// model batcher makes the inference fast path's speedup observable in
+// production (/v1/stats) instead of only in benchmarks.
+type latencySampler struct {
+	mu    sync.Mutex
+	ring  [latencySampleSize]float64 // milliseconds
+	n     int                        // filled entries, <= latencySampleSize
+	next  int                        // ring write cursor
+	count uint64                     // total observations ever
+}
+
+// observe records one latency.
+func (l *latencySampler) observe(d time.Duration) {
+	ms := float64(d.Microseconds()) / 1000
+	l.mu.Lock()
+	l.ring[l.next] = ms
+	l.next = (l.next + 1) % latencySampleSize
+	if l.n < latencySampleSize {
+		l.n++
+	}
+	l.count++
+	l.mu.Unlock()
+}
+
+// LatencyStats is the quantile snapshot exposed through /v1/stats: total
+// observation count plus p50/p99 over the most recent window, in
+// milliseconds.
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// snapshot copies the window, sorts it, and reads the quantiles. The
+// nearest-rank method (ceil(q*n)-1) keeps the values actual observations.
+func (l *latencySampler) snapshot() LatencyStats {
+	l.mu.Lock()
+	st := LatencyStats{Count: l.count}
+	window := make([]float64, l.n)
+	copy(window, l.ring[:l.n])
+	l.mu.Unlock()
+	if len(window) == 0 {
+		return st
+	}
+	sort.Float64s(window)
+	st.P50MS = quantile(window, 0.50)
+	st.P99MS = quantile(window, 0.99)
+	return st
+}
+
+// quantile reads the nearest-rank q-quantile (rank ⌈q·n⌉) from a sorted
+// slice.
+func quantile(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -519,4 +519,15 @@ func TestPerModelStats(t *testing.T) {
 	if byName["default"].Batcher.Samples == 0 || byName["exp"].Batcher.Samples == 0 {
 		t.Error("per-model batcher stats empty")
 	}
+	// Every evaluated sample feeds the per-model latency sampler, so the
+	// quantiles the speedup is observed through must be populated.
+	for _, name := range []string{"default", "exp"} {
+		lat := byName[name].Batcher.Latency
+		if lat.Count == 0 {
+			t.Errorf("%s: no latency observations", name)
+		}
+		if lat.P50MS < 0 || lat.P99MS < lat.P50MS {
+			t.Errorf("%s: malformed quantiles %+v", name, lat)
+		}
+	}
 }

@@ -1,0 +1,244 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randMat(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func assertExact(t *testing.T, name string, got, want *Matrix) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d = %v, want %v", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestIntoKernelsMatchAllocating pins every destination-passing kernel to
+// its allocating counterpart bit for bit — the property the inference
+// engine's equivalence guarantee is built on.
+func TestIntoKernelsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 9, 5)
+	b := randMat(rng, 5, 7)
+	dst := New(0, 0)
+
+	MatMulInto(a, b, dst)
+	assertExact(t, "MatMulInto", dst, MatMul(a, b))
+
+	c := randMat(rng, 9, 5)
+	AddInto(a, c, dst)
+	assertExact(t, "AddInto", dst, Add(a, c))
+
+	bias := randMat(rng, 1, 5)
+	want := a.Clone()
+	for i := 0; i < want.Rows; i++ {
+		row := want.Row(i)
+		for j, v := range bias.Row(0) {
+			row[j] += v
+		}
+	}
+	AddBiasInto(a, bias, dst)
+	assertExact(t, "AddBiasInto", dst, want)
+
+	idx := []int{3, 0, 8, 3, 1}
+	GatherRowsInto(a, idx, dst)
+	for i, src := range idx {
+		for j, v := range dst.Row(i) {
+			if v != a.At(src, j) {
+				t.Fatalf("GatherRowsInto row %d col %d = %v, want %v", i, j, v, a.At(src, j))
+			}
+		}
+	}
+
+	rows := randMat(rng, 5, 4)
+	scattered := New(9, 4)
+	for i, d := range idx {
+		row := scattered.Row(d)
+		for j, v := range rows.Row(i) {
+			row[j] += v
+		}
+	}
+	ScatterAddRowsInto(rows, idx, 9, dst)
+	assertExact(t, "ScatterAddRowsInto", dst, scattered)
+
+	col := randMat(rng, 9, 1)
+	want = a.Clone()
+	for i := 0; i < want.Rows; i++ {
+		f := col.Data[i]
+		row := want.Row(i)
+		for j := range row {
+			row[j] *= f
+		}
+	}
+	MulColBroadcastInto(a, col, dst)
+	assertExact(t, "MulColBroadcastInto", dst, want)
+
+	want = a.Clone()
+	for i, v := range want.Data {
+		if v < 0 {
+			want.Data[i] = 0.1 * v
+		}
+	}
+	LeakyReLUInto(a, 0.1, dst)
+	assertExact(t, "LeakyReLUInto", dst, want)
+
+	want = New(1, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j, v := range a.Row(i) {
+			want.Data[j] += v
+		}
+	}
+	want.ScaleInPlace(1 / float64(a.Rows))
+	MeanRowsInto(a, dst)
+	assertExact(t, "MeanRowsInto", dst, want)
+}
+
+// TestIntoKernelsAlias exercises the documented aliasing contracts
+// (dst == a for the element-wise kernels).
+func TestIntoKernelsAlias(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randMat(rng, 4, 3)
+	b := randMat(rng, 4, 3)
+	want := Add(a, b)
+	aCopy := a.Clone()
+	AddInto(aCopy, b, aCopy)
+	assertExact(t, "AddInto aliased", aCopy, want)
+
+	bias := randMat(rng, 1, 3)
+	ref := New(0, 0)
+	AddBiasInto(a, bias, ref)
+	aCopy = a.Clone()
+	AddBiasInto(aCopy, bias, aCopy)
+	assertExact(t, "AddBiasInto aliased", aCopy, ref)
+
+	LeakyReLUInto(a, 0.2, ref)
+	aCopy = a.Clone()
+	LeakyReLUInto(aCopy, 0.2, aCopy)
+	assertExact(t, "LeakyReLUInto aliased", aCopy, ref)
+}
+
+// TestSegmentSoftmaxInto checks normalization within segments, empty
+// segments, the nil-scratch path, and in-place operation.
+func TestSegmentSoftmaxInto(t *testing.T) {
+	logits := FromData(5, 1, []float64{1, 2, 3, -1, 100})
+	segments := []int{0, 0, 2, 2, 3} // segment 1 empty
+	dst := New(0, 0)
+	SegmentSoftmaxInto(logits, segments, 4, nil, dst)
+	sums := map[int]float64{}
+	for e, s := range segments {
+		sums[s] += dst.Data[e]
+	}
+	for s, sum := range sums {
+		if sum < 0.999999 || sum > 1.000001 {
+			t.Errorf("segment %d sums to %v", s, sum)
+		}
+	}
+	if dst.Data[4] != 1 {
+		t.Errorf("singleton segment attention = %v, want 1", dst.Data[4])
+	}
+	// In-place with caller scratch must agree.
+	scratch := make([]float64, 8)
+	inPlace := logits.Clone()
+	SegmentSoftmaxInto(inPlace, segments, 4, scratch, inPlace)
+	assertExact(t, "SegmentSoftmaxInto aliased", inPlace, dst)
+}
+
+func TestMatMulIntoRejectsBadShapes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched MatMulInto did not panic")
+		}
+	}()
+	MatMulInto(New(2, 3), New(2, 3), New(0, 0))
+}
+
+// TestIntoKernelsReuseCapacity verifies the steady-state contract: a dst
+// with sufficient capacity is resliced, never reallocated.
+func TestIntoKernelsReuseCapacity(t *testing.T) {
+	a := New(4, 4)
+	a.Fill(1)
+	dst := New(8, 8) // 64 capacity, plenty for 4×4
+	data := &dst.Data[0]
+	MatMulInto(a, a, dst)
+	if &dst.Data[0] != data {
+		t.Error("MatMulInto reallocated despite sufficient capacity")
+	}
+	if dst.Rows != 4 || dst.Cols != 4 {
+		t.Errorf("dst reshaped to %dx%d", dst.Rows, dst.Cols)
+	}
+	if dst.At(0, 0) != 4 {
+		t.Errorf("product wrong: %v", dst.At(0, 0))
+	}
+}
+
+func TestArenaRecycles(t *testing.T) {
+	var a Arena
+	b1 := a.Get(100) // class 128
+	if len(b1) != 100 {
+		t.Fatalf("len = %d", len(b1))
+	}
+	b1[0] = 42
+	a.Put(b1)
+	b2 := a.Get(120) // same class → same backing array
+	if cap(b2) != cap(b1) || &b2[0] != &b1[0] {
+		t.Error("arena did not recycle the buffer within its size class")
+	}
+	if got := a.Get(120); &got[0] == &b2[0] {
+		t.Error("arena handed out the same buffer twice")
+	}
+	if a.Get(0) != nil {
+		t.Error("Get(0) should be nil")
+	}
+	a.Put(nil) // must not panic
+}
+
+func TestArenaGetMatrixSteadyState(t *testing.T) {
+	var a Arena
+	var m Matrix
+	a.GetMatrix(&m, 6, 7)
+	if m.Rows != 6 || m.Cols != 7 || len(m.Data) != 42 {
+		t.Fatalf("shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	ptr := &m.Data[0]
+	a.GetMatrix(&m, 6, 7) // same shape: no movement
+	if &m.Data[0] != ptr {
+		t.Error("steady-state GetMatrix moved the buffer")
+	}
+	a.GetMatrix(&m, 3, 2) // shrink: reslice in place
+	if &m.Data[0] != ptr || m.Rows != 3 {
+		t.Error("shrink should reslice in place")
+	}
+	a.GetMatrix(&m, 30, 30) // grow: old buffer recycled into the arena
+	if got := a.Get(40); &got[0] != ptr {
+		t.Error("outgrown buffer was not recycled")
+	}
+}
+
+func TestArenaGetSlice(t *testing.T) {
+	var a Arena
+	s := a.GetSlice(nil, 10)
+	if len(s) != 10 {
+		t.Fatalf("len = %d", len(s))
+	}
+	ptr := &s[0]
+	s2 := a.GetSlice(s, 5)
+	if &s2[0] != ptr {
+		t.Error("shrinking GetSlice moved the buffer")
+	}
+	s3 := a.GetSlice(s2, 1000)
+	if len(s3) != 1000 {
+		t.Fatalf("len = %d", len(s3))
+	}
+}

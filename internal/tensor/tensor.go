@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 )
 
@@ -161,7 +162,8 @@ func Transpose(m *Matrix) *Matrix {
 const parallelThresholdFlops = 1 << 17
 
 // MatMul returns a×b, parallelizing across rows of a when the product is
-// large enough to amortize goroutine startup.
+// large enough to amortize goroutine startup. The serial kernel is shared
+// with MatMulInto, so the two (and any worker split) are bit-identical.
 func MatMul(a, b *Matrix) *Matrix {
 	shapeCheck(a.Cols == b.Rows, "MatMul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	out := New(a.Rows, b.Cols)
@@ -294,17 +296,19 @@ func (m *Matrix) String() string {
 	if m.Rows*m.Cols > 64 {
 		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
 	}
-	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Matrix(%dx%d)[", m.Rows, m.Cols)
 	for i := 0; i < m.Rows; i++ {
 		if i > 0 {
-			s += "; "
+			b.WriteString("; ")
 		}
 		for j := 0; j < m.Cols; j++ {
 			if j > 0 {
-				s += " "
+				b.WriteByte(' ')
 			}
-			s += fmt.Sprintf("%.4g", m.At(i, j))
+			fmt.Fprintf(&b, "%.4g", m.At(i, j))
 		}
 	}
-	return s + "]"
+	b.WriteByte(']')
+	return b.String()
 }
