@@ -24,6 +24,8 @@
 //	      [-cache-file PATH] [-cache-snapshot 5m]
 //	      [-self http://host:8080 -peers http://host:8080,http://host2:8080]
 //	      [-replication 2]
+//	      [-log-level info] [-trace-slow 250ms] [-trace-ring 128]
+//	      [-pprof-addr 127.0.0.1:6060]
 //
 // Endpoints:
 //
@@ -33,7 +35,16 @@
 //	GET  /v1/models     served model versions per platform
 //	GET  /v1/stats      cache/batcher/pool/per-model/cluster counters
 //	GET  /v1/ring       cluster membership, ownership, forward counters
+//	GET  /v1/trace      recent request traces (?id= for one, ?n= to bound)
+//	GET  /metrics       Prometheus text exposition of every serve_* series
 //	POST /v1/replicate  peer-internal cache write-through (cluster mode)
+//
+// Observability (docs/OPERATIONS.md, "Monitoring & Profiling"): GET
+// /metrics serves Prometheus text exposition, GET /v1/trace the recent
+// request traces; requests slower than -trace-slow are logged. All process
+// output is structured log/slog (-log-level picks the floor), and
+// -pprof-addr mounts net/http/pprof on a separate listener so profiling
+// never shares the serving port.
 //
 // On SIGINT/SIGTERM the server stops accepting requests, drains in-flight
 // batches, flushes the cache snapshot, and exits. docs/API.md documents the
@@ -46,8 +57,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -73,6 +86,8 @@ type serveConfig struct {
 	addr          string
 	cacheFile     string        // "" = no cache persistence
 	snapshotEvery time.Duration // periodic snapshot interval; <= 0 disables
+	pprofAddr     string        // "" = no pprof listener
+	logger        *slog.Logger  // process-wide structured logger
 }
 
 func run(args []string, w io.Writer) error {
@@ -81,6 +96,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	defer srv.Close()
+	logger := cfg.logger
 
 	if cfg.cacheFile != "" {
 		n, err := srv.LoadCacheFile(cfg.cacheFile)
@@ -88,7 +104,7 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("restoring cache from %s: %w", cfg.cacheFile, err)
 		}
 		if n > 0 {
-			fmt.Fprintf(w, "restored %d cached responses from %s\n", n, cfg.cacheFile)
+			logger.Info("restored cache snapshot", "entries", n, "file", cfg.cacheFile)
 		}
 	}
 
@@ -96,10 +112,28 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "serving on http://%s\n", ln.Addr())
+	logger.Info("serving", "url", "http://"+ln.Addr().String())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The profiling listener is separate from the serving port so operators
+	// can firewall it independently and a heap dump never competes with
+	// request traffic for the serving listener's accept queue.
+	if cfg.pprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		logger.Info("pprof listening", "url", "http://"+pln.Addr().String()+"/debug/pprof/")
+		go func() {
+			ps := &http.Server{Handler: pprofMux()}
+			go func() { <-ctx.Done(); ps.Close() }()
+			if err := ps.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("pprof server", "err", err)
+			}
+		}()
+	}
 
 	// Periodic cache snapshots so even a hard kill loses at most one
 	// interval of warmth.
@@ -111,7 +145,7 @@ func run(args []string, w io.Writer) error {
 				select {
 				case <-tick.C:
 					if err := srv.SaveCacheFile(cfg.cacheFile); err != nil {
-						fmt.Fprintf(w, "cache snapshot: %v\n", err)
+						logger.Warn("cache snapshot", "err", err)
 					}
 				case <-ctx.Done():
 					return
@@ -129,7 +163,7 @@ func run(args []string, w io.Writer) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintf(w, "shutting down...\n")
+	logger.Info("shutting down")
 
 	// Stop accepting and let in-flight requests finish, then drain the
 	// batchers (srv.Close) before the final snapshot so every completed
@@ -137,16 +171,44 @@ func run(args []string, w io.Writer) error {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(w, "shutdown: %v\n", err)
+		logger.Warn("shutdown", "err", err)
 	}
 	srv.Close()
 	if cfg.cacheFile != "" {
 		if err := srv.SaveCacheFile(cfg.cacheFile); err != nil {
 			return fmt.Errorf("final cache snapshot: %w", err)
 		}
-		fmt.Fprintf(w, "cache snapshot flushed to %s\n", cfg.cacheFile)
+		logger.Info("cache snapshot flushed", "file", cfg.cacheFile)
 	}
 	return nil
+}
+
+// pprofMux mounts the net/http/pprof handlers on a dedicated mux instead of
+// http.DefaultServeMux, so the profiling listener exposes exactly the
+// /debug/pprof/ tree and nothing else.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// parseLogLevel maps the -log-level flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q: want debug, info, warn or error", s)
 }
 
 // buildServer parses flags and assembles the service — from registry
@@ -171,6 +233,10 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 	batchWait := fs.Duration("batch-wait", 0, "micro-batching window (0 = default)")
 	poolSize := fs.Int("pool", 0, "max evaluations in flight (0 = GOMAXPROCS)")
 	gridWorkers := fs.Int("grid-workers", 0, "per-advise grid fan-out (0 = GOMAXPROCS)")
+	logLevel := fs.String("log-level", "info", "log floor: debug, info, warn or error")
+	traceSlow := fs.Duration("trace-slow", 0, "log traced requests at or above this latency (0 = default 250ms, negative = disable)")
+	traceRing := fs.Int("trace-ring", 0, "finished request traces retained for GET /v1/trace (0 = default)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	self := fs.String("self", "", "cluster mode: this process's base URL as peers reach it (http://host:port)")
 	peersFlag := fs.String("peers", "", "cluster mode: comma-separated base URLs of every peer (including -self)")
 	vnodes := fs.Int("ring-vnodes", 0, "cluster mode: virtual nodes per peer on the hash ring (0 = default)")
@@ -179,7 +245,15 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 	if err := fs.Parse(args); err != nil {
 		return nil, serveConfig{}, err
 	}
-	cfg := serveConfig{addr: *addr, cacheFile: *cacheFile, snapshotEvery: *snapshotEvery}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return nil, serveConfig{}, err
+	}
+	logger := slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+	cfg := serveConfig{
+		addr: *addr, cacheFile: *cacheFile, snapshotEvery: *snapshotEvery,
+		pprofAddr: *pprofAddr, logger: logger,
+	}
 
 	// Cluster flags are validated before the (possibly expensive) backend
 	// build so a bad invocation fails fast instead of after training.
@@ -213,9 +287,9 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 
 	var backends []serve.Backend
 	if *modelDir != "" {
-		backends, err = checkpointBackends(*modelDir, *maxLoaded, wanted, w)
+		backends, err = checkpointBackends(*modelDir, *maxLoaded, wanted, logger)
 	} else {
-		backends, err = trainedBackends(*scaleName, *epochs, *points, wanted, w)
+		backends, err = trainedBackends(*scaleName, *epochs, *points, wanted, logger)
 	}
 	if err != nil {
 		return nil, serveConfig{}, err
@@ -228,6 +302,9 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 		BatchWait:       *batchWait,
 		PoolSize:        *poolSize,
 		GridWorkers:     *gridWorkers,
+		TraceSlow:       *traceSlow,
+		TraceRing:       *traceRing,
+		Logger:          logger,
 	})
 	if err != nil {
 		return nil, serveConfig{}, err
@@ -248,8 +325,9 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 		if ring.Replication != nil {
 			rf = ring.Replication.Factor
 		}
-		fmt.Fprintf(w, "cluster mode: %d peers on a %d-vnode ring, rf=%d, self=%s (%.0f%% of key space)\n",
-			len(ring.Members), ring.VNodes, rf, ring.Self, selfOwnership(ring)*100)
+		logger.Info("cluster mode",
+			"peers", len(ring.Members), "vnodes", ring.VNodes, "rf", rf,
+			"self", ring.Self, "ownership", selfOwnership(ring))
 	}
 	return srv, cfg, nil
 }
@@ -285,7 +363,7 @@ func platformSet(flagValue string) (map[string]bool, error) {
 
 // checkpointBackends opens a registry and turns its checkpoints (restricted
 // to the requested platforms) into serving backends — train-free startup.
-func checkpointBackends(dir string, maxLoaded int, wanted map[string]bool, w io.Writer) ([]serve.Backend, error) {
+func checkpointBackends(dir string, maxLoaded int, wanted map[string]bool, logger *slog.Logger) ([]serve.Backend, error) {
 	reg, err := registry.Open(dir, registry.Options{MaxLoaded: maxLoaded})
 	if err != nil {
 		return nil, err
@@ -295,8 +373,9 @@ func checkpointBackends(dir string, maxLoaded int, wanted map[string]bool, w io.
 		if !wanted[e.Manifest.Platform] {
 			continue
 		}
-		fmt.Fprintf(w, "loaded checkpoint %s/%s (level %s, val RMSE %.4f scaled)\n",
-			e.Manifest.Platform, e.Manifest.Name, e.Manifest.Level, e.Manifest.Train.FinalValRMSE)
+		logger.Info("loaded checkpoint",
+			"model", e.Manifest.Platform+"/"+e.Manifest.Name,
+			"level", e.Manifest.Level, "val_rmse", e.Manifest.Train.FinalValRMSE)
 		backends = append(backends, serve.Backend{
 			Machine: e.Machine,
 			Model:   e,
@@ -323,7 +402,7 @@ func checkpointBackends(dir string, maxLoaded int, wanted map[string]bool, w io.
 
 // trainedBackends is the fallback path: train one model per requested
 // platform at startup, as before checkpoints existed.
-func trainedBackends(scaleName string, epochs, points int, wanted map[string]bool, w io.Writer) ([]serve.Backend, error) {
+func trainedBackends(scaleName string, epochs, points int, wanted map[string]bool, logger *slog.Logger) ([]serve.Backend, error) {
 	var scale experiments.Scale
 	switch strings.ToLower(scaleName) {
 	case "tiny":
@@ -353,13 +432,13 @@ func trainedBackends(scaleName string, epochs, points int, wanted map[string]boo
 	var backends []serve.Backend
 	for _, m := range machines {
 		start := time.Now()
-		fmt.Fprintf(w, "training %s model (scale %s, %d epochs)...\n", m.Name, scale.Name, scale.Epochs)
+		logger.Info("training model", "platform", m.Name, "scale", scale.Name, "epochs", scale.Epochs)
 		tr, err := runner.Trained(m, paragraph.LevelParaGraph)
 		if err != nil {
 			return nil, fmt.Errorf("training %s: %w", m.Name, err)
 		}
-		fmt.Fprintf(w, "  %s ready in %.1fs (val RMSE %.4f scaled)\n",
-			m.Name, time.Since(start).Seconds(), tr.Hist.FinalValRMSE())
+		logger.Info("model ready", "platform", m.Name,
+			"seconds", time.Since(start).Seconds(), "val_rmse", tr.Hist.FinalValRMSE())
 		backends = append(backends, serve.Backend{
 			Machine: m, Model: tr.Model, Prep: tr.Prep,
 			Info: &serve.ModelInfo{

@@ -188,8 +188,9 @@ func TestModelDirServesCheckpointsWithoutTraining(t *testing.T) {
 	if strings.Contains(out.String(), "training") {
 		t.Errorf("-model-dir startup trained anyway:\n%s", out.String())
 	}
-	if !strings.Contains(out.String(), "loaded checkpoint NVIDIA V100 (GPU)/default") ||
-		!strings.Contains(out.String(), "loaded checkpoint NVIDIA V100 (GPU)/exp") {
+	if !strings.Contains(out.String(), `msg="loaded checkpoint"`) ||
+		!strings.Contains(out.String(), `model="NVIDIA V100 (GPU)/default"`) ||
+		!strings.Contains(out.String(), `model="NVIDIA V100 (GPU)/exp"`) {
 		t.Errorf("startup log missing checkpoints:\n%s", out.String())
 	}
 
@@ -327,6 +328,8 @@ func TestBuildServerFlagErrors(t *testing.T) {
 		{"-self", "http://127.0.0.1:1", "-peers", "http://127.0.0.1:2/suffix"},
 		{"-self", "http://127.0.0.1:1", "-peers", "http://127.0.0.1:2", "-replication", "0"},
 		{"-self", "http://127.0.0.1:1", "-peers", "http://127.0.0.1:2", "-replication", "-3"},
+		// Observability flags are validated before any model training too.
+		{"-log-level", "loud"},
 	}
 	for _, args := range cases {
 		t.Run(strings.Join(args, " "), func(t *testing.T) {

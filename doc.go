@@ -37,6 +37,8 @@
 //	  shard                  consistent-hash ring (successor-list owners)
 //	                         + peer forwarder (sync + async write-through)
 //	                         backing serve's cluster mode
+//	  obs                    metrics registry (Prometheus exposition) +
+//	                         request tracing (spans, ring, slow log)
 //
 // # Serving
 //
@@ -50,6 +52,8 @@
 //	GET  /v1/models     served model versions per platform
 //	GET  /v1/stats      cache/batcher/pool/per-model/cluster counters
 //	GET  /v1/ring       cluster membership, ownership, replication counters
+//	GET  /v1/trace      recent request traces with per-stage spans
+//	GET  /metrics       Prometheus text exposition of every serve series
 //	POST /v1/replicate  peer-internal cache write-through (cluster mode)
 //
 // Models come from a checkpoint registry (internal/registry): `train

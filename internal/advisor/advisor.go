@@ -8,6 +8,7 @@
 package advisor
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"paragraph/internal/dataset"
 	"paragraph/internal/gnn"
 	"paragraph/internal/hw"
+	"paragraph/internal/obs"
 	"paragraph/internal/paragraph"
 	"paragraph/internal/variants"
 )
@@ -34,6 +36,15 @@ import (
 // Predict calls into batches.
 type Predictor interface {
 	Predict(*gnn.Sample) float64
+}
+
+// ContextPredictor is an optional Predictor extension: a predictor that
+// threads the request context through, so a request-scoped trace
+// (internal/obs) reaches the batching layer and its queue-wait and
+// predict spans land on the right request. Plain Predictors keep working
+// untraced.
+type ContextPredictor interface {
+	PredictCtx(context.Context, *gnn.Sample) float64
 }
 
 // EncodeCache memoizes the parse→BuildKernel→Encode pipeline across Advise
@@ -110,6 +121,14 @@ type Recommendation struct {
 // results keep the serial enumeration order before the stable sort, so the
 // ranking is identical to a one-worker run.
 func (a *Advisor) Advise(k apps.Kernel, bindings analysis.Env, space SearchSpace) ([]Recommendation, error) {
+	return a.AdviseCtx(context.Background(), k, bindings, space)
+}
+
+// AdviseCtx is Advise with a request context: a trace attached to ctx
+// (obs.WithTrace) receives per-stage spans — encode on pipeline runs,
+// queue wait and predict from a batching ContextPredictor, rank around the
+// final sort.
+func (a *Advisor) AdviseCtx(ctx context.Context, k apps.Kernel, bindings analysis.Env, space SearchSpace) ([]Recommendation, error) {
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
@@ -155,7 +174,7 @@ func (a *Advisor) Advise(k apps.Kernel, bindings analysis.Env, space SearchSpace
 			Kernel: k, Kind: g.kind, Teams: g.teams, Threads: g.threads,
 			Bindings: bindings, Source: src,
 		}
-		us, err := a.PredictInstanceUS(in)
+		us, err := a.PredictInstanceUSCtx(ctx, in)
 		if err != nil {
 			errs[i] = err
 			return
@@ -201,7 +220,9 @@ func (a *Advisor) Advise(k apps.Kernel, bindings analysis.Env, space SearchSpace
 				grid[i].kind, grid[i].teams, grid[i].threads, err)
 		}
 	}
+	rank := obs.TraceFrom(ctx).StartSpan("rank")
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].PredictedUS < recs[j].PredictedUS })
+	rank.End()
 	return recs, nil
 }
 
@@ -217,9 +238,19 @@ func (a *Advisor) Best(k apps.Kernel, bindings analysis.Env, space SearchSpace) 
 // PredictInstanceUS statically predicts one instance's runtime in
 // microseconds, applying the training-time feature and target scalers.
 func (a *Advisor) PredictInstanceUS(in variants.Instance) (float64, error) {
-	s, err := a.EncodeInstance(in)
+	return a.PredictInstanceUSCtx(context.Background(), in)
+}
+
+// PredictInstanceUSCtx is PredictInstanceUS with a request context. A
+// ContextPredictor receives the context (tracing the batch queue wait and
+// forward pass); a plain Predictor is called as before.
+func (a *Advisor) PredictInstanceUSCtx(ctx context.Context, in variants.Instance) (float64, error) {
+	s, err := a.EncodeInstanceCtx(ctx, in)
 	if err != nil {
 		return 0, err
+	}
+	if cp, ok := a.model.(ContextPredictor); ok {
+		return a.prep.DescaleUS(cp.PredictCtx(ctx, s)), nil
 	}
 	return a.prep.DescaleUS(a.model.Predict(s)), nil
 }
@@ -228,6 +259,13 @@ func (a *Advisor) PredictInstanceUS(in variants.Instance) (float64, error) {
 // consulting the encode cache (when injected) before running the
 // parse→BuildKernel→Encode pipeline.
 func (a *Advisor) EncodeInstance(in variants.Instance) (*gnn.Sample, error) {
+	return a.EncodeInstanceCtx(context.Background(), in)
+}
+
+// EncodeInstanceCtx is EncodeInstance with a request context: a cache miss
+// that runs the encode pipeline records an "encode" span on the context's
+// trace (cache hits record nothing — they cost microseconds).
+func (a *Advisor) EncodeInstanceCtx(ctx context.Context, in variants.Instance) (*gnn.Sample, error) {
 	var key string
 	var eg *gnn.Graph
 	if a.encCache != nil {
@@ -237,6 +275,7 @@ func (a *Advisor) EncodeInstance(in variants.Instance) (*gnn.Sample, error) {
 		}
 	}
 	if eg == nil {
+		sp := obs.TraceFrom(ctx).StartSpan("encode")
 		// Thread-count division matches dataset.Prepare (see the note there).
 		g, err := paragraph.BuildKernel(in.Source, paragraph.Options{
 			Level:    a.level,
@@ -253,6 +292,7 @@ func (a *Advisor) EncodeInstance(in variants.Instance) (*gnn.Sample, error) {
 		if a.encCache != nil {
 			a.encCache.Add(key, eg)
 		}
+		sp.End()
 	}
 	// Copy the graph header before applying this advisor's weight scaling:
 	// the cache may be shared between advisors trained with different

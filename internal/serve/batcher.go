@@ -1,10 +1,14 @@
 package serve
 
 import (
+	"context"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"paragraph/internal/gnn"
+	"paragraph/internal/obs"
 )
 
 // BatchPredictor is the batched cost-model interface the batcher drives.
@@ -45,12 +49,16 @@ type Batcher struct {
 	maxSeen    int
 	sumBatched uint64 // total samples that shared a batch with at least one other
 
-	latency latencySampler // per-Predict latency (enqueue → result)
+	latency *obs.Histogram // per-Predict latency (enqueue → result), seconds
+	sizes   *obs.Histogram // samples per evaluated batch
+	queued  atomic.Int64   // requests enqueued but not yet in a model evaluation
 }
 
 type batchRequest struct {
 	s   *gnn.Sample
 	out chan float64
+	tr  *obs.Trace // originating request's trace; nil = untraced
+	enq time.Time  // enqueue instant, the queue_wait span's start
 }
 
 // NewBatcher starts a batcher over model. maxBatch <= 0 defaults to 16;
@@ -69,6 +77,8 @@ func NewBatcher(model BatchPredictor, maxBatch int, maxWait time.Duration) *Batc
 		reqs:     make(chan batchRequest),
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
+		latency:  obs.NewHistogram(obs.DefLatencyBuckets),
+		sizes:    obs.NewHistogram(obs.BatchSizeBuckets),
 	}
 	go b.collect()
 	return b
@@ -78,19 +88,33 @@ func NewBatcher(model BatchPredictor, maxBatch int, maxWait time.Duration) *Batc
 // Safe for concurrent use, including racing Close: a request that misses
 // the collector is answered by a direct (unbatched) forward pass instead
 // of panicking or hanging. Each call's end-to-end latency (batch wait
-// included — it is what callers experience) feeds the model's quantile
-// sampler, surfaced per model in /v1/stats.
+// included — it is what callers experience) feeds the model's latency
+// histogram, surfaced per model in /v1/stats and /metrics.
 func (b *Batcher) Predict(s *gnn.Sample) float64 {
+	return b.PredictCtx(context.Background(), s)
+}
+
+// PredictCtx is Predict with a request context (the batcher implements
+// advisor.ContextPredictor). A trace attached to ctx receives queue_wait
+// and predict spans for this sample; an untraced context adds no work to
+// the fast path.
+func (b *Batcher) PredictCtx(ctx context.Context, s *gnn.Sample) float64 {
+	tr := obs.TraceFrom(ctx)
 	start := time.Now()
 	out := make(chan float64, 1)
+	b.queued.Add(1)
 	select {
-	case b.reqs <- batchRequest{s: s, out: out}:
+	case b.reqs <- batchRequest{s: s, out: out, tr: tr, enq: start}:
 		v := <-out
-		b.latency.observe(time.Since(start))
+		b.latency.Observe(time.Since(start).Seconds())
 		return v
 	case <-b.quit:
+		b.queued.Add(-1)
+		pstart := time.Now()
 		v := b.model.PredictBatch([]*gnn.Sample{s})[0]
-		b.latency.observe(time.Since(start))
+		tr.AddSpan("queue_wait", "", start, pstart.Sub(start))
+		tr.AddSpan("predict", "direct", pstart, time.Since(pstart))
+		b.latency.Observe(time.Since(start).Seconds())
 		return v
 	}
 }
@@ -147,13 +171,17 @@ func (b *Batcher) collect() {
 
 // flush evaluates one batch and fans results back to the waiters.
 func (b *Batcher) flush(batch []batchRequest) {
+	b.queued.Add(-int64(len(batch)))
 	samples := make([]*gnn.Sample, len(batch))
 	for i, r := range batch {
 		samples[i] = r.s
 	}
+	pstart := time.Now()
 	preds := b.model.PredictBatch(samples)
+	pdur := time.Since(pstart)
 	// Count before delivering: a caller's Predict returns the moment its
 	// result lands, and Stats() observed right after must include it.
+	b.sizes.Observe(float64(len(batch)))
 	b.mu.Lock()
 	b.batches++
 	b.samples += uint64(len(batch))
@@ -164,9 +192,29 @@ func (b *Batcher) flush(batch []batchRequest) {
 		b.sumBatched += uint64(len(batch))
 	}
 	b.mu.Unlock()
+	// Spans land on each traced request before its result is delivered, so
+	// the caller's trace is complete by the time its handler finishes.
+	var detail string
 	for i, r := range batch {
+		if r.tr != nil {
+			if detail == "" {
+				detail = fmt.Sprintf("batch=%d", len(batch))
+			}
+			r.tr.AddSpan("queue_wait", "", r.enq, pstart.Sub(r.enq))
+			r.tr.AddSpan("predict", detail, pstart, pdur)
+		}
 		r.out <- preds[i]
 	}
+}
+
+// LatencyStats is the quantile snapshot exposed through /v1/stats: total
+// observation count plus p50/p99 in milliseconds, estimated from the same
+// log-bucketed histogram /metrics exposes as
+// serve_batcher_latency_seconds — one instrument, two renderings.
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
 }
 
 // BatcherStats snapshots the batching counters and the per-prediction
@@ -191,6 +239,10 @@ func (b *Batcher) Stats() BatcherStats {
 		st.CoalescedShare = float64(b.sumBatched) / float64(b.samples)
 	}
 	b.mu.Unlock()
-	st.Latency = b.latency.snapshot()
+	st.Latency = LatencyStats{
+		Count: b.latency.Count(),
+		P50MS: b.latency.Quantile(0.50) * 1000,
+		P99MS: b.latency.Quantile(0.99) * 1000,
+	}
 	return st
 }

@@ -164,25 +164,10 @@ func TestBatcherLatencyQuantiles(t *testing.T) {
 	}
 }
 
-func TestLatencySamplerWindowAndQuantiles(t *testing.T) {
-	var s latencySampler
-	if st := s.snapshot(); st.Count != 0 || st.P50MS != 0 || st.P99MS != 0 {
-		t.Errorf("empty sampler snapshot = %+v", st)
-	}
-	// Overfill the ring: the count keeps the full history, the quantiles
-	// cover only the most recent window.
-	for i := 0; i < latencySampleSize+100; i++ {
-		s.observe(time.Duration(i) * time.Millisecond)
-	}
-	st := s.snapshot()
-	if st.Count != uint64(latencySampleSize+100) {
-		t.Errorf("count = %d", st.Count)
-	}
-	// Window holds [100, 611]ms; p50 near the middle, p99 near the top.
-	if st.P50MS < 300 || st.P50MS > 400 {
-		t.Errorf("p50 = %v, want ~356", st.P50MS)
-	}
-	if st.P99MS < 590 || st.P99MS > 611 {
-		t.Errorf("p99 = %v, want near 606", st.P99MS)
+func TestBatcherEmptyLatencyStats(t *testing.T) {
+	b := NewBatcher(&echoModel{}, 4, time.Millisecond)
+	defer b.Close()
+	if lat := b.Stats().Latency; lat.Count != 0 || lat.P50MS != 0 || lat.P99MS != 0 {
+		t.Errorf("latency stats before any prediction = %+v", lat)
 	}
 }

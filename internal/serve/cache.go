@@ -17,7 +17,13 @@
 // with a consistent-hash ring over the cache keys — each key owned by its
 // first rf ring successors, with asynchronous write-through to replicas
 // and failover in successor order (cluster.go, internal/shard).
-// docs/API.md documents the wire format; docs/ARCHITECTURE.md the design.
+//
+// Every layer is instrumented through internal/obs: the same counters and
+// histograms that assemble /v1/stats render as Prometheus exposition at
+// GET /metrics (metrics.go), and traced requests record per-stage spans
+// into a bounded ring served at GET /v1/trace, with trace ids propagated
+// across cluster hops (trace.go). docs/API.md documents the wire format;
+// docs/ARCHITECTURE.md the design.
 package serve
 
 import (

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"paragraph/internal/advisor"
+	"paragraph/internal/obs"
 	"paragraph/internal/shard"
 )
 
@@ -138,6 +139,7 @@ func (s *Server) EnableCluster(cfg ClusterConfig) error {
 			AsyncQueue:      cfg.ReplicationQueue,
 		}),
 	}
+	s.metrics.registerCluster(s.cluster)
 	return nil
 }
 
@@ -217,23 +219,30 @@ type proxiedResponse struct {
 // never failing. An answer from any target after the first is counted as a
 // replica hit: the primary was down but the tier's warmth survived on a
 // successor. A target's HTTP errors are authoritative answers and come
-// back ok=true, relayed not retried.
-func (s *Server) tryForward(targets []string, path string, req any) (proxiedResponse, bool) {
+// back ok=true, relayed not retried. The hop is recorded as a "forward"
+// span on tr, annotated with the answering peer (or "unreachable"), and
+// carries tr's id so the answering peer's trace joins this request's.
+func (s *Server) tryForward(tr *obs.Trace, targets []string, path string, req any) (proxiedResponse, bool) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return proxiedResponse{}, false
 	}
+	sp := tr.StartSpan("forward")
 	for i, t := range targets {
-		status, respBody, err := s.cluster.fwd.Forward(t, path, body)
+		status, respBody, err := s.cluster.fwd.Forward(t, path, body, tr.ID())
 		if err != nil {
 			continue
 		}
 		if i > 0 {
 			s.cluster.replicaHits.Add(1)
 		}
+		sp.Annotate(t)
+		sp.End()
 		return proxiedResponse{status: status, body: respBody}, true
 	}
 	s.cluster.fallbacks.Add(1)
+	sp.Annotate("unreachable")
+	sp.End()
 	return proxiedResponse{}, false
 }
 
@@ -245,8 +254,10 @@ func (s *Server) tryForward(targets []string, path string, req any) (proxiedResp
 // replication traffic cannot cycle. owners and owned come from route for
 // the same request (one ring walk serves both routing and write-through);
 // only an owner replicates — a non-owner that evaluated a key because
-// every owner was down has nowhere useful to write.
-func (s *Server) replicate(key string, val any, owners []string, owned bool) {
+// every owner was down has nowhere useful to write. traceID ("" =
+// untraced) attributes the write-through to the request that produced the
+// entry on the receiving peer's trace ring.
+func (s *Server) replicate(key string, val any, owners []string, owned bool, traceID string) {
 	c := s.cluster
 	if c == nil || c.rf < 2 || !owned || len(owners) == 0 {
 		return
@@ -259,7 +270,7 @@ func (s *Server) replicate(key string, val any, owners []string, owned bool) {
 		if o == c.self {
 			continue
 		}
-		if c.fwd.ForwardAsync(o, "/v1/replicate", body) {
+		if c.fwd.ForwardAsync(o, "/v1/replicate", body, traceID) {
 			c.repWrites.Add(1)
 		} else {
 			c.repDrops.Add(1)
@@ -286,7 +297,6 @@ const maxReplicateBytes = 4 << 20
 // keeps the only cache-writing endpoint from accepting writes from
 // clients that know nothing about the cluster.
 func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
-	s.counters.replicate.Add(1)
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -448,7 +458,6 @@ func (s *Server) Ring() RingResponse {
 }
 
 func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
-	s.counters.ring.Add(1)
 	if r.Method != http.MethodGet {
 		s.fail(w, http.StatusMethodNotAllowed, "GET required")
 		return

@@ -14,6 +14,7 @@ import (
 	"paragraph/internal/apps"
 	"paragraph/internal/gnn"
 	"paragraph/internal/hw"
+	"paragraph/internal/obs"
 	"paragraph/internal/shard"
 )
 
@@ -718,5 +719,111 @@ func TestClusterStatsSection(t *testing.T) {
 	}
 	if len(st.Cluster.Members) != 2 {
 		t.Errorf("stats cluster members = %+v", st.Cluster.Members)
+	}
+}
+
+// postAdviseTraced is postAdvise with an explicit trace id on the request,
+// for asserting cross-peer trace propagation.
+func postAdviseTraced(t *testing.T, base string, req AdviseRequest, traceID string) AdviseResponse {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, base+"/v1/advise", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(obs.TraceHeader, traceID)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced advise at %s: %d", base, resp.StatusCode)
+	}
+	var out AdviseResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestClusterTracePropagation: one trace id, sent with the request to a
+// non-owning peer, must stitch the whole distributed path together — the
+// origin's trace records the forwarded hop, the owner finishes a trace
+// under the same id for the evaluation, and the async replica
+// write-through arrives at a third peer still carrying the id.
+func TestClusterTracePropagation(t *testing.T) {
+	peers := startClusterRF(t, 3, 2)
+	origin := peers[0]
+
+	var traceID string
+	var resp AdviseResponse
+	for i := 0; i < 64 && traceID == ""; i++ {
+		id := fmt.Sprintf("prop-%d", i)
+		out := postAdviseTraced(t, origin.http.URL, bindN(float64(64+16*i)), id)
+		if out.ServedBy != "" && out.ServedBy != origin.http.URL {
+			traceID, resp = id, out
+		}
+	}
+	if traceID == "" {
+		t.Fatal("no request sent to the origin peer was owned elsewhere; ring partitioning broken")
+	}
+
+	// Origin: an advise trace under the ingress id whose forward span names
+	// the peer that answered.
+	ft, ok := origin.srv.tracer.Find(traceID)
+	if !ok {
+		t.Fatalf("origin retained no trace %q", traceID)
+	}
+	if ft.Endpoint != "advise" || ft.Status != http.StatusOK {
+		t.Fatalf("origin trace = endpoint %q status %d, want advise/200", ft.Endpoint, ft.Status)
+	}
+	forwarded := false
+	for _, sp := range ft.Spans {
+		if sp.Name == "forward" {
+			forwarded = true
+			if sp.Detail != resp.ServedBy {
+				t.Errorf("forward span names %q, but %q served the request", sp.Detail, resp.ServedBy)
+			}
+		}
+	}
+	if !forwarded {
+		t.Errorf("origin trace has no forward span: %+v", ft.Spans)
+	}
+
+	// Owner: the same id covers the actual evaluation on the serving peer.
+	owner := peerByURL(t, peers, resp.ServedBy)
+	oft, ok := owner.srv.tracer.Find(traceID)
+	if !ok {
+		t.Fatalf("serving peer retained no trace %q", traceID)
+	}
+	names := map[string]bool{}
+	for _, sp := range oft.Spans {
+		names[sp.Name] = true
+	}
+	if oft.Endpoint != "advise" || !names["predict"] {
+		t.Errorf("owner trace = endpoint %q spans %v, want an advise trace with a predict span",
+			oft.Endpoint, names)
+	}
+
+	// Replica: the write-through is fire-and-forget, so poll for a
+	// /v1/replicate trace under the same id somewhere in the cluster.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, p := range peers {
+			for _, rt := range p.srv.tracer.Recent(0) {
+				if rt.ID == traceID && rt.Endpoint == "replicate" {
+					return
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no peer recorded a /v1/replicate trace under the forwarded request's id")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"paragraph/internal/obs"
+)
+
+// serveEndpoints are the per-endpoint metric label values, one per mux
+// route. /v1/stats reads the first seven back for its requests section;
+// metrics and trace exist only in the exposition (adding them to the
+// stats JSON would break its byte-compatibility contract).
+var serveEndpoints = []string{
+	"advise", "predict", "healthz", "stats", "models", "ring", "replicate",
+	"metrics", "trace",
+}
+
+// endpointInstruments are one endpoint's request counter and latency
+// histogram, incremented by the instrument middleware.
+type endpointInstruments struct {
+	requests *obs.Counter
+	duration *obs.Histogram
+}
+
+// serveMetrics is the server's metric surface: every series /metrics
+// exposes, built on the same instruments /v1/stats snapshots — one source
+// of truth, two renderings. Instruments the request path writes are
+// registry-owned (lock-free); everything else (caches, pool, batchers,
+// cluster) is read from its owning component at scrape time.
+type serveMetrics struct {
+	reg       *obs.Registry
+	endpoints map[string]*endpointInstruments
+
+	adviseHits *obs.Counter
+	coalesced  *obs.Counter
+
+	mu     sync.Mutex
+	errors map[string]*obs.Counter // endpoint "\x00" status class
+}
+
+// newServeMetrics builds the registry over a fully assembled server (its
+// caches, pool and per-model batchers must exist; cluster series join
+// later via registerCluster).
+func newServeMetrics(s *Server) *serveMetrics {
+	m := &serveMetrics{
+		reg:       obs.NewRegistry(),
+		endpoints: map[string]*endpointInstruments{},
+		errors:    map[string]*obs.Counter{},
+	}
+	for _, ep := range serveEndpoints {
+		m.endpoints[ep] = &endpointInstruments{
+			requests: m.reg.Counter("serve_requests_total",
+				"Requests received, by endpoint.", obs.L("endpoint", ep)),
+			duration: m.reg.Histogram("serve_request_duration_seconds",
+				"End-to-end request latency, by endpoint.", obs.L("endpoint", ep),
+				obs.DefLatencyBuckets),
+		}
+	}
+	m.adviseHits = m.reg.Counter("serve_advise_cache_hits_total",
+		"Advise/predict responses answered from the response cache.", nil)
+	m.coalesced = m.reg.Counter("serve_coalesced_total",
+		"Responses that shared an identical concurrent request's evaluation (singleflight).", nil)
+
+	m.reg.GaugeFunc("serve_uptime_seconds", "Seconds since the server started.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+
+	for name, c := range map[string]*Cache{"advise": s.adviseCache, "encode": s.encodeCache} {
+		c, labels := c, obs.L("cache", name)
+		m.reg.GaugeFunc("serve_cache_entries", "Entries resident, by cache.", labels,
+			func() float64 { return float64(c.Stats().Entries) })
+		m.reg.CounterFunc("serve_cache_hits_total", "Cache hits, by cache.", labels,
+			func() float64 { return float64(c.Stats().Hits) })
+		m.reg.CounterFunc("serve_cache_misses_total", "Cache misses, by cache.", labels,
+			func() float64 { return float64(c.Stats().Misses) })
+		m.reg.CounterFunc("serve_cache_evictions_total", "LRU evictions, by cache.", labels,
+			func() float64 { return float64(c.Stats().Evictions) })
+	}
+
+	m.reg.GaugeFunc("serve_pool_size", "Evaluation pool slot count.", nil,
+		func() float64 { return float64(s.pool.Stats().Size) })
+	m.reg.GaugeFunc("serve_pool_in_flight", "Evaluations holding a pool slot.", nil,
+		func() float64 { return float64(s.pool.inFlight.Load()) })
+	m.reg.GaugeFunc("serve_pool_waiting", "Requests blocked waiting for a pool slot.", nil,
+		func() float64 { return float64(s.pool.waiting.Load()) })
+	m.reg.CounterFunc("serve_pool_evaluations_total", "Evaluations the pool has run.", nil,
+		func() float64 { return float64(s.pool.total.Load()) })
+
+	for machine, be := range s.backends {
+		for name, ms := range be.models {
+			ms, labels := ms, obs.L("platform", machine, "model", name)
+			m.reg.RegisterHistogram("serve_batcher_latency_seconds",
+				"Per-prediction latency through the micro-batcher (enqueue to result), by model.",
+				labels, ms.batcher.latency)
+			m.reg.RegisterHistogram("serve_batch_size",
+				"Samples per evaluated micro-batch, by model.", labels, ms.batcher.sizes)
+			m.reg.GaugeFunc("serve_batcher_queue_depth",
+				"Samples enqueued but not yet in a model evaluation, by model.", labels,
+				func() float64 { return float64(ms.batcher.queued.Load()) })
+			m.reg.CounterFunc("serve_batcher_batches_total",
+				"Batches evaluated, by model.", labels,
+				func() float64 { return float64(ms.batcher.Stats().Batches) })
+			m.reg.CounterFunc("serve_model_advise_total",
+				"Advise responses computed or served, by model.", labels,
+				func() float64 { return float64(ms.advise.Load()) })
+			m.reg.CounterFunc("serve_model_predict_total",
+				"Predict responses computed or served, by model.", labels,
+				func() float64 { return float64(ms.predict.Load()) })
+		}
+	}
+
+	m.reg.CounterFunc("serve_traces_started_total", "Request traces started.", nil,
+		func() float64 { return float64(s.tracer.Started()) })
+	m.reg.CounterFunc("serve_traces_slow_total", "Traces logged as slow requests.", nil,
+		func() float64 { return float64(s.tracer.SlowCount()) })
+	return m
+}
+
+// registerCluster adds the cluster-mode series. Per-peer forward counters
+// are discovered at scrape time (peers appear once traffic reaches them),
+// hence CollectFunc rather than fixed series.
+func (m *serveMetrics) registerCluster(c *cluster) {
+	m.reg.CounterFunc("serve_cluster_forwarded_in_total",
+		"Requests received already forwarded by a peer.", nil,
+		func() float64 { return float64(c.forwardedIn.Load()) })
+	m.reg.CounterFunc("serve_cluster_local_fallbacks_total",
+		"Requests served locally because every owner was unreachable.", nil,
+		func() float64 { return float64(c.fallbacks.Load()) })
+	m.reg.CounterFunc("serve_cluster_replica_hits_total",
+		"Forwards answered by a replica after the primary owner failed.", nil,
+		func() float64 { return float64(c.replicaHits.Load()) })
+	m.reg.CounterFunc("serve_cluster_replication_writes_total",
+		"Cache entries enqueued for write-through to replicas.", nil,
+		func() float64 { return float64(c.repWrites.Load()) })
+	m.reg.CounterFunc("serve_cluster_replication_drops_total",
+		"Write-throughs dropped because the async queue was full.", nil,
+		func() float64 { return float64(c.repDrops.Load()) })
+	m.reg.CounterFunc("serve_cluster_replicated_in_total",
+		"Cache entries accepted via POST /v1/replicate.", nil,
+		func() float64 { return float64(c.replicatedIn.Load()) })
+	m.reg.GaugeFunc("serve_cluster_replication_queue_depth",
+		"Write-throughs waiting in the async queue.", nil,
+		func() float64 { return float64(c.fwd.Async().Queued) })
+	m.reg.CollectFunc("serve_cluster_forwards_total",
+		"Requests this process forwarded and had answered, by peer.", "counter",
+		func(emit func(obs.Labels, float64)) {
+			for _, ps := range c.fwd.Stats() {
+				emit(obs.L("peer", ps.Peer), float64(ps.Forwards))
+			}
+		})
+	m.reg.CollectFunc("serve_cluster_forward_errors_total",
+		"Failed forward attempts (peer unreachable), by peer.", "counter",
+		func(emit func(obs.Labels, float64)) {
+			for _, ps := range c.fwd.Stats() {
+				emit(obs.L("peer", ps.Peer), float64(ps.Errors))
+			}
+		})
+}
+
+// statusClass folds an HTTP status into its class label ("4xx", "5xx").
+func statusClass(status int) string {
+	switch status / 100 {
+	case 2:
+		return "2xx"
+	case 3:
+		return "3xx"
+	case 4:
+		return "4xx"
+	case 5:
+		return "5xx"
+	default:
+		return fmt.Sprintf("%dxx", status/100)
+	}
+}
+
+// errorCounter returns (creating on first use) the serve_errors_total
+// series for one endpoint and status class. Lazy because the full
+// endpoint × class product would be mostly dead series.
+func (m *serveMetrics) errorCounter(endpoint string, status int) *obs.Counter {
+	class := statusClass(status)
+	key := endpoint + "\x00" + class
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.errors[key]
+	if !ok {
+		c = m.reg.Counter("serve_errors_total",
+			"Error responses, by endpoint and status class.",
+			obs.L("endpoint", endpoint, "code", class))
+		m.errors[key] = c
+	}
+	return c
+}
+
+// requests reads one endpoint's request count (the /v1/stats source).
+func (m *serveMetrics) requests(endpoint string) uint64 {
+	return m.endpoints[endpoint].requests.Value()
+}
+
+// totalErrors sums the per-endpoint-per-class error counters, preserving
+// the /v1/stats requests.errors field's original "all errors" semantics.
+func (m *serveMetrics) totalErrors() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, c := range m.errors {
+		n += c.Value()
+	}
+	return n
+}

@@ -11,6 +11,7 @@ type Pool struct {
 	slots chan struct{}
 
 	inFlight atomic.Int64
+	waiting  atomic.Int64 // callers blocked on a slot (the /metrics queue-depth gauge)
 	peak     atomic.Int64
 	total    atomic.Uint64
 }
@@ -25,7 +26,9 @@ func NewPool(size int) *Pool {
 
 // Run executes fn while holding one slot, blocking until a slot frees up.
 func (p *Pool) Run(fn func() error) error {
+	p.waiting.Add(1)
 	p.slots <- struct{}{}
+	p.waiting.Add(-1)
 	n := p.inFlight.Add(1)
 	for {
 		old := p.peak.Load()

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -16,6 +17,7 @@ import (
 	"paragraph/internal/dataset"
 	"paragraph/internal/gnn"
 	"paragraph/internal/hw"
+	"paragraph/internal/obs"
 	"paragraph/internal/paragraph"
 	"paragraph/internal/variants"
 )
@@ -62,6 +64,17 @@ type Options struct {
 	BatchWait       time.Duration // batcher: batch window (default 2ms)
 	PoolSize        int           // max advise/predict evaluations in flight (default GOMAXPROCS)
 	GridWorkers     int           // per-advise grid fan-out (default GOMAXPROCS)
+
+	// TraceSlow is the latency at or above which a traced request is
+	// logged as a structured slow-request record (default 250ms; negative
+	// disables slow logging — traces are still recorded and served).
+	TraceSlow time.Duration
+	// TraceRing bounds the in-memory ring of finished traces served at
+	// GET /v1/trace (default 128).
+	TraceRing int
+	// Logger receives slow-trace and per-request debug records (default
+	// slog.Default()).
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +89,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.GridWorkers <= 0 {
 		o.GridWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.TraceSlow == 0 {
+		o.TraceSlow = 250 * time.Millisecond
+	}
+	if o.TraceSlow < 0 {
+		o.TraceSlow = 0 // tracer: <= 0 disables slow logging
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
 	}
 	return o
 }
@@ -115,7 +137,10 @@ type Server struct {
 	encodeCache *Cache // encoded graphs, shared across backends
 	pool        *Pool
 	flights     flightGroup // collapses identical concurrent cache misses
-	counters    requestCounters
+
+	metrics *serveMetrics // every /metrics series; /v1/stats reads the same instruments
+	tracer  *obs.Tracer   // request traces: slow logging + the /v1/trace ring
+	logger  *slog.Logger
 
 	// cluster is non-nil once EnableCluster put the server into a
 	// consistent-hash sharded tier; nil means every request serves locally.
@@ -211,13 +236,25 @@ func NewServer(backends []Backend, opts Options) (*Server, error) {
 			break
 		}
 	}
-	s.mux.HandleFunc("/v1/advise", s.handleAdvise)
-	s.mux.HandleFunc("/v1/predict", s.handlePredict)
-	s.mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/v1/models", s.handleModels)
-	s.mux.HandleFunc("/v1/ring", s.handleRing)
-	s.mux.HandleFunc("/v1/replicate", s.handleReplicate)
+	s.logger = opts.Logger
+	s.tracer = obs.NewTracer(obs.TracerOptions{
+		Slow:     opts.TraceSlow,
+		RingSize: opts.TraceRing,
+		Logger:   opts.Logger,
+	})
+	s.metrics = newServeMetrics(s)
+	// Advise, predict and replicate are traced (they carry the expensive
+	// work and cross-peer hops); the read-only introspection endpoints only
+	// get request/latency/error accounting.
+	s.mux.HandleFunc("/v1/advise", s.instrument("advise", true, s.handleAdvise))
+	s.mux.HandleFunc("/v1/predict", s.instrument("predict", true, s.handlePredict))
+	s.mux.HandleFunc("/v1/healthz", s.instrument("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("/v1/stats", s.instrument("stats", false, s.handleStats))
+	s.mux.HandleFunc("/v1/models", s.instrument("models", false, s.handleModels))
+	s.mux.HandleFunc("/v1/ring", s.instrument("ring", false, s.handleRing))
+	s.mux.HandleFunc("/v1/replicate", s.instrument("replicate", true, s.handleReplicate))
+	s.mux.HandleFunc("/v1/trace", s.instrument("trace", false, s.handleTrace))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", false, s.handleMetrics))
 	return s, nil
 }
 
@@ -403,8 +440,11 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// fail writes the JSON error envelope. Error accounting happens in the
+// instrument middleware off the response status, so every error response —
+// including ones relayed verbatim from a peer — is counted per endpoint
+// and status class.
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
-	s.counters.errors.Add(1)
 	s.writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
@@ -477,17 +517,19 @@ func kernelKey(k apps.Kernel) string {
 }
 
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
-	s.counters.advise.Add(1)
 	s.noteForwarded(r)
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	tr := obs.TraceFrom(r.Context())
+	dec := tr.StartSpan("decode")
 	var req AdviseRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	dec.End()
 	be, ms, err := s.resolveModel(req.Machine, req.Model)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, "%v", err)
@@ -510,7 +552,10 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	startReq := time.Now()
 	var recs []advisor.Recommendation
 	cached, coalesced := false, false
-	if v, ok := s.adviseCache.Get(key); ok {
+	lookup := tr.StartSpan("cache_lookup")
+	v, hit := s.adviseCache.Get(key)
+	lookup.End()
+	if hit {
 		// A local hit is served locally even if a peer owns the key: the
 		// entry is content-addressed and immutable, so it is byte-identical
 		// to whatever the owner holds, and the hop is free to skip. The
@@ -521,7 +566,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		if r2, ok := v.([]advisor.Recommendation); ok {
 			recs = r2
 			cached = true
-			s.counters.adviseHits.Add(1)
+			s.metrics.adviseHits.Inc()
 		}
 	}
 	if !cached {
@@ -541,16 +586,19 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		// rendering must not share proxied bytes.
 		targets, owners, owned := s.route(r, key)
 		flightKey := fmt.Sprintf("%s|t%d_s%v", key, req.Top, req.IncludeSource)
+		flightStart := time.Now()
 		v, shared, err := s.flights.Do(flightKey, func() (any, error) {
 			if len(targets) > 0 {
-				if pr, ok := s.tryForward(targets, "/v1/advise", req); ok {
+				if pr, ok := s.tryForward(tr, targets, "/v1/advise", req); ok {
 					return pr, nil
 				}
 			}
+			poolWait := tr.StartSpan("pool_wait")
 			var out []advisor.Recommendation
 			err := s.pool.Run(func() error {
+				poolWait.End()
 				var err error
-				out, err = ms.advisor.Advise(k, req.Bindings, space)
+				out, err = ms.advisor.AdviseCtx(r.Context(), k, req.Bindings, space)
 				return err
 			})
 			if err != nil {
@@ -560,7 +608,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 			s.adviseCache.Add(key, out)
-			s.replicate(key, out, owners, owned)
+			s.replicate(key, out, owners, owned, tr.ID())
 			return out, nil
 		})
 		if err != nil {
@@ -569,7 +617,10 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		}
 		if shared {
 			coalesced = true
-			s.counters.adviseCoalesced.Add(1)
+			s.metrics.coalesced.Inc()
+			// Recorded retroactively: a waiter only learns it waited — and
+			// for how long — once the leader's flight lands.
+			tr.AddSpan("singleflight_wait", "", flightStart, time.Since(flightStart))
 		}
 		if pr, ok := v.(proxiedResponse); ok {
 			s.writeProxied(w, pr)
@@ -632,17 +683,19 @@ func kindByName(name string) (variants.Kind, error) {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	s.counters.predict.Add(1)
 	s.noteForwarded(r)
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	tr := obs.TraceFrom(r.Context())
+	dec := tr.StartSpan("decode")
 	var req PredictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	dec.End()
 	be, ms, err := s.resolveModel(req.Machine, req.Model)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, "%v", err)
@@ -674,7 +727,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Machine: be.machine.Name, Model: ms.name, Kernel: k.Name, Variant: req.Variant,
 		Teams: req.Teams, Threads: req.Threads, ServedBy: s.servedBy(),
 	}
-	if v, ok := s.adviseCache.Get(key); ok {
+	lookup := tr.StartSpan("cache_lookup")
+	v, hit := s.adviseCache.Get(key)
+	lookup.End()
+	if hit {
 		// Comma-ok for the same reason as handleAdvise: a wrong-typed
 		// entry is a miss to overwrite, not a panic.
 		if us, ok := v.(float64); ok {
@@ -695,14 +751,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// concurrent misses share one hop; predict responses have no rendering
 	// options, so the flight key is the cache key.
 	targets, owners, owned := s.route(r, key)
+	flightStart := time.Now()
 	v, shared, err := s.flights.Do(key, func() (any, error) {
 		if len(targets) > 0 {
-			if pr, ok := s.tryForward(targets, "/v1/predict", req); ok {
+			if pr, ok := s.tryForward(tr, targets, "/v1/predict", req); ok {
 				return pr, nil
 			}
 		}
+		poolWait := tr.StartSpan("pool_wait")
 		var us float64
 		err := s.pool.Run(func() error {
+			poolWait.End()
 			src, err := variants.Generate(k, kind, req.Teams, req.Threads)
 			if err != nil {
 				return err
@@ -711,7 +770,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				Kernel: k, Kind: kind, Teams: req.Teams, Threads: req.Threads,
 				Bindings: req.Bindings, Source: src,
 			}
-			us, err = ms.advisor.PredictInstanceUS(in)
+			us, err = ms.advisor.PredictInstanceUSCtx(r.Context(), in)
 			return err
 		})
 		if err != nil {
@@ -721,7 +780,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return nil, fmt.Errorf("model produced a non-finite prediction (checkpoint unavailable?)")
 		}
 		s.adviseCache.Add(key, us)
-		s.replicate(key, us, owners, owned)
+		s.replicate(key, us, owners, owned, tr.ID())
 		return us, nil
 	})
 	if err != nil {
@@ -729,7 +788,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if shared {
-		s.counters.adviseCoalesced.Add(1)
+		s.metrics.coalesced.Inc()
+		tr.AddSpan("singleflight_wait", "", flightStart, time.Since(flightStart))
 	}
 	if pr, ok := v.(proxiedResponse); ok {
 		s.writeProxied(w, pr)
@@ -742,7 +802,6 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.counters.health.Add(1)
 	if r.Method != http.MethodGet {
 		s.fail(w, http.StatusMethodNotAllowed, "GET required")
 		return
@@ -756,7 +815,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.counters.stats.Add(1)
 	if r.Method != http.MethodGet {
 		s.fail(w, http.StatusMethodNotAllowed, "GET required")
 		return
@@ -814,7 +872,6 @@ func (s *Server) Models() ModelsResponse {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	s.counters.models.Add(1)
 	if r.Method != http.MethodGet {
 		s.fail(w, http.StatusMethodNotAllowed, "GET required")
 		return

@@ -1,23 +1,6 @@
 package serve
 
-import (
-	"sync/atomic"
-	"time"
-)
-
-// requestCounters tracks per-endpoint traffic with atomic counters.
-type requestCounters struct {
-	advise          atomic.Uint64
-	predict         atomic.Uint64
-	health          atomic.Uint64
-	stats           atomic.Uint64
-	models          atomic.Uint64
-	ring            atomic.Uint64
-	replicate       atomic.Uint64
-	errors          atomic.Uint64
-	adviseHits      atomic.Uint64 // advise responses answered from cache
-	adviseCoalesced atomic.Uint64 // responses that shared another request's evaluation
-}
+import "time"
 
 // ModelStats is the per-model-version slice of /v1/stats: traffic routed to
 // one (platform, version) pair and its batcher's counters.
@@ -33,7 +16,9 @@ type ModelStats struct {
 
 // Stats is the /v1/stats payload: a full snapshot of the service's caches,
 // batching, pooling, singleflight and traffic counters, plus the per-model
-// breakdown.
+// breakdown. It is assembled from the same instruments /metrics exposes
+// (internal/obs via metrics.go), so the two endpoints cannot drift; the
+// JSON shape predates the metrics registry and is kept byte-compatible.
 type Stats struct {
 	UptimeSeconds float64  `json:"uptime_seconds"`
 	Machines      []string `json:"machines"`
@@ -72,16 +57,16 @@ type Stats struct {
 func (s *Server) snapshot() Stats {
 	st := Stats{UptimeSeconds: time.Since(s.start).Seconds()}
 	st.Machines = s.machineNames()
-	st.Requests.Advise = s.counters.advise.Load()
-	st.Requests.Predict = s.counters.predict.Load()
-	st.Requests.Healthz = s.counters.health.Load()
-	st.Requests.Stats = s.counters.stats.Load()
-	st.Requests.Models = s.counters.models.Load()
-	st.Requests.Ring = s.counters.ring.Load()
-	st.Requests.Replicate = s.counters.replicate.Load()
-	st.Requests.Errors = s.counters.errors.Load()
-	st.AdviseCacheHits = s.counters.adviseHits.Load()
-	st.Coalesced = s.counters.adviseCoalesced.Load()
+	st.Requests.Advise = s.metrics.requests("advise")
+	st.Requests.Predict = s.metrics.requests("predict")
+	st.Requests.Healthz = s.metrics.requests("healthz")
+	st.Requests.Stats = s.metrics.requests("stats")
+	st.Requests.Models = s.metrics.requests("models")
+	st.Requests.Ring = s.metrics.requests("ring")
+	st.Requests.Replicate = s.metrics.requests("replicate")
+	st.Requests.Errors = s.metrics.totalErrors()
+	st.AdviseCacheHits = s.metrics.adviseHits.Value()
+	st.Coalesced = s.metrics.coalesced.Value()
 	st.AdviseCache = s.adviseCache.Stats()
 	st.EncodeCache = s.encodeCache.Stats()
 	for _, machine := range st.Machines {

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"paragraph/internal/obs"
+)
+
+// statusWriter captures the response status code for the instrument
+// middleware (the stdlib ResponseWriter does not expose it).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the observability layer: request and
+// latency accounting for every endpoint, error accounting by status
+// class, and — for traced endpoints — a request-scoped trace carried in
+// the context, correlated across processes by the trace header (accepted
+// sanitized at ingress, minted otherwise, echoed on the response).
+func (s *Server) instrument(endpoint string, traced bool, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.metrics.endpoints[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		ep.requests.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		var t *obs.Trace
+		if traced {
+			t = s.tracer.Start(obs.SanitizeTraceID(r.Header.Get(obs.TraceHeader)), endpoint)
+			sw.Header().Set(obs.TraceHeader, t.ID())
+			r = r.WithContext(obs.WithTrace(r.Context(), t))
+		}
+		h(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		d := time.Since(start)
+		ep.duration.Observe(d.Seconds())
+		if status >= 400 {
+			s.metrics.errorCounter(endpoint, status).Inc()
+		}
+		s.tracer.Finish(t, status)
+		if t != nil {
+			s.logger.Debug("request",
+				"endpoint", endpoint,
+				"status", status,
+				"duration_ms", float64(d.Microseconds())/1000,
+				"trace_id", t.ID(),
+			)
+		}
+	}
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WritePrometheus(w)
+}
+
+// TraceListResponse is the GET /v1/trace payload: retained traces, newest
+// first.
+type TraceListResponse struct {
+	Traces []obs.FinishedTrace `json:"traces"`
+}
+
+// handleTrace serves the tracer's bounded ring of finished traces:
+// ?id=<trace_id> returns that one trace (404 if it aged out of the ring),
+// ?n=<limit> bounds the listing.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		ft, ok := s.tracer.Find(id)
+		if !ok {
+			s.fail(w, http.StatusNotFound, "no retained trace %q", id)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, ft)
+		return
+	}
+	limit := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			s.fail(w, http.StatusBadRequest, "bad n %q: want a positive integer", raw)
+			return
+		}
+		limit = n
+	}
+	s.writeJSON(w, http.StatusOK, TraceListResponse{Traces: s.tracer.Recent(limit)})
+}

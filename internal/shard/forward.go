@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"paragraph/internal/obs"
 )
 
 // ForwardedByHeader marks a request that was already forwarded once by the
@@ -61,10 +63,13 @@ type peerClient struct {
 	errors   atomic.Uint64 // transport failures (caller fell back to local)
 }
 
-// asyncPost is one queued fire-and-forget POST (a replication write).
+// asyncPost is one queued fire-and-forget POST (a replication write). It
+// carries the originating request's trace id so a write-through is
+// attributable to the request that produced the entry.
 type asyncPost struct {
 	peer, path string
 	body       []byte
+	traceID    string
 }
 
 // Forwarder carries requests to their owning peer over HTTP. Each peer
@@ -125,14 +130,19 @@ func (f *Forwarder) peer(name string) *peerClient {
 
 // post performs one loop-guarded JSON POST to peer+path on the peer's
 // bounded client. Shared by the synchronous and async paths; counting is
-// the caller's job because the two paths have different counters.
-func (f *Forwarder) post(pc *peerClient, peer, path string, body []byte) (int, []byte, error) {
+// the caller's job because the two paths have different counters. A
+// non-empty traceID rides along in the trace header so the receiving peer
+// joins the originating request's trace.
+func (f *Forwarder) post(pc *peerClient, peer, path string, body []byte, traceID string) (int, []byte, error) {
 	req, err := http.NewRequest(http.MethodPost, peer+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, fmt.Errorf("shard: building forward to %s: %w", peer, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedByHeader, f.self)
+	if traceID != "" {
+		req.Header.Set(obs.TraceHeader, traceID)
+	}
 	resp, err := pc.client.Do(req)
 	if err != nil {
 		return 0, nil, fmt.Errorf("shard: forwarding to %s: %w", peer, err)
@@ -151,9 +161,10 @@ func (f *Forwarder) post(pc *peerClient, peer, path string, body []byte) (int, [
 // answered, and its answer (even "unknown kernel") is authoritative. A
 // non-nil error means the peer was unreachable (dial failure, timeout,
 // truncated response); the caller should fall back to serving locally.
-func (f *Forwarder) Forward(peer, path string, body []byte) (int, []byte, error) {
+// traceID ("" = untraced) propagates the originating request's trace.
+func (f *Forwarder) Forward(peer, path string, body []byte, traceID string) (int, []byte, error) {
 	pc := f.peer(peer)
-	status, out, err := f.post(pc, peer, path, body)
+	status, out, err := f.post(pc, peer, path, body, traceID)
 	if err != nil {
 		pc.errors.Add(1)
 		return 0, nil, err
@@ -169,14 +180,15 @@ func (f *Forwarder) Forward(peer, path string, body []byte) (int, []byte, error)
 // rather than blocking the caller — async traffic exists to shed work off
 // the request path, so backpressure must never travel back up it. The
 // return value reports whether the post was accepted into the queue.
-func (f *Forwarder) ForwardAsync(peer, path string, body []byte) bool {
+// traceID ("" = untraced) propagates the originating request's trace.
+func (f *Forwarder) ForwardAsync(peer, path string, body []byte, traceID string) bool {
 	f.startOnce.Do(func() {
 		for i := 0; i < f.opts.AsyncWorkers; i++ {
 			go f.drainAsync()
 		}
 	})
 	select {
-	case f.queue <- asyncPost{peer: peer, path: path, body: body}:
+	case f.queue <- asyncPost{peer: peer, path: path, body: body, traceID: traceID}:
 		return true
 	default:
 		f.asyncDrops.Add(1)
@@ -192,7 +204,7 @@ func (f *Forwarder) drainAsync() {
 			return
 		case job := <-f.queue:
 			pc := f.peer(job.peer)
-			status, _, err := f.post(pc, job.peer, job.path, job.body)
+			status, _, err := f.post(pc, job.peer, job.path, job.body, job.traceID)
 			if err != nil || status/100 != 2 {
 				f.asyncErrs.Add(1)
 			} else {

@@ -6,16 +6,19 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"paragraph/internal/obs"
 )
 
 // TestForwardRoundTrip: a forwarded request reaches the peer with the
-// loop-guard header and JSON content type, and the peer's status and body
-// come back verbatim.
+// loop-guard header, trace header and JSON content type, and the peer's
+// status and body come back verbatim.
 func TestForwardRoundTrip(t *testing.T) {
-	var gotHeader, gotCT, gotBody string
+	var gotHeader, gotCT, gotBody, gotTrace string
 	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		gotHeader = r.Header.Get(ForwardedByHeader)
 		gotCT = r.Header.Get("Content-Type")
+		gotTrace = r.Header.Get(obs.TraceHeader)
 		b, _ := io.ReadAll(r.Body)
 		gotBody = string(b)
 		w.WriteHeader(http.StatusTeapot)
@@ -24,7 +27,7 @@ func TestForwardRoundTrip(t *testing.T) {
 	defer peer.Close()
 
 	f := NewForwarder("http://self:1", ForwardOptions{})
-	status, body, err := f.Forward(peer.URL, "/v1/advise", []byte(`{"kernel":"matmul"}`))
+	status, body, err := f.Forward(peer.URL, "/v1/advise", []byte(`{"kernel":"matmul"}`), "trace-42")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,6 +39,9 @@ func TestForwardRoundTrip(t *testing.T) {
 	}
 	if gotCT != "application/json" {
 		t.Errorf("forwarded Content-Type = %q", gotCT)
+	}
+	if gotTrace != "trace-42" {
+		t.Errorf("%s = %q, want the caller's trace id", obs.TraceHeader, gotTrace)
 	}
 	if gotBody != `{"kernel":"matmul"}` {
 		t.Errorf("forwarded body = %q", gotBody)
@@ -54,7 +60,7 @@ func TestForwardUnreachablePeer(t *testing.T) {
 	peer.Close() // nothing listens anymore
 
 	f := NewForwarder("http://self:1", ForwardOptions{Timeout: 2 * time.Second})
-	if _, _, err := f.Forward(peer.URL, "/v1/advise", nil); err == nil {
+	if _, _, err := f.Forward(peer.URL, "/v1/advise", nil, ""); err == nil {
 		t.Fatal("forward to a closed peer succeeded")
 	}
 	st := f.Stats()
@@ -64,23 +70,24 @@ func TestForwardUnreachablePeer(t *testing.T) {
 }
 
 // TestForwardAsyncDelivers: an async post reaches the peer with the
-// loop-guard header set, and a 2xx answer lands in the Sent counter.
+// loop-guard and trace headers set, and a 2xx answer lands in the Sent
+// counter.
 func TestForwardAsyncDelivers(t *testing.T) {
 	got := make(chan string, 1)
 	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		b, _ := io.ReadAll(r.Body)
-		got <- r.Header.Get(ForwardedByHeader) + "|" + string(b)
+		got <- r.Header.Get(ForwardedByHeader) + "|" + r.Header.Get(obs.TraceHeader) + "|" + string(b)
 	}))
 	defer peer.Close()
 
 	f := NewForwarder("http://self:1", ForwardOptions{})
 	defer f.Close()
-	if !f.ForwardAsync(peer.URL, "/v1/replicate", []byte(`{"version":1}`)) {
+	if !f.ForwardAsync(peer.URL, "/v1/replicate", []byte(`{"version":1}`), "trace-7") {
 		t.Fatal("async post rejected by an empty queue")
 	}
 	select {
 	case msg := <-got:
-		if msg != `http://self:1|{"version":1}` {
+		if msg != `http://self:1|trace-7|{"version":1}` {
 			t.Errorf("async post arrived as %q", msg)
 		}
 	case <-time.After(5 * time.Second):
@@ -117,7 +124,7 @@ func TestForwardAsyncDropsUnderBackpressure(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("queue never overflowed while the worker was wedged")
 		}
-		f.ForwardAsync(peer.URL, "/v1/replicate", nil)
+		f.ForwardAsync(peer.URL, "/v1/replicate", nil, "")
 	}
 	if f.Async().Dropped == 0 {
 		t.Errorf("async stats = %+v, want drops counted", f.Async())
@@ -133,7 +140,7 @@ func TestForwardErrorStatusIsNotAnError(t *testing.T) {
 	defer peer.Close()
 
 	f := NewForwarder("http://self:1", ForwardOptions{})
-	status, _, err := f.Forward(peer.URL, "/v1/advise", []byte(`{}`))
+	status, _, err := f.Forward(peer.URL, "/v1/advise", []byte(`{}`), "")
 	if err != nil {
 		t.Fatalf("HTTP 400 from the owner reported as transport error: %v", err)
 	}
