@@ -1,0 +1,72 @@
+// Command benchgate compares fresh predict-benchmark output against the
+// recorded trajectory in BENCH_INFERENCE.json and fails (exit 1) on a
+// regression beyond the threshold. CI runs it after the bench job:
+//
+//	go test -run='^$' -bench='PredictFastPath|GNNForward$' -benchmem -count=5 . > bench-predict.txt
+//	benchgate -bench bench-predict.txt -baseline BENCH_INFERENCE.json
+//
+// Benchmarks repeated via -count collapse to their median, which is what
+// the gate compares — single outlier iterations on noisy shared runners do
+// not fail the build.
+//
+// The gate is hardware-aware. When the benchmark ran on the same CPU model
+// the baseline entry records, medians are compared absolutely: each tracked
+// benchmark must stay within threshold of its recorded value. On any other
+// CPU absolute nanoseconds are meaningless, so the gate falls back to the
+// hardware-normalized ratio: the tape-vs-engine speedup measured in the
+// same run must stay within threshold of the recorded single_speedup (both
+// paths run on the same machine, so the ratio transfers across hardware).
+//
+// Exit codes: 0 pass, 1 regression, 2 usage or parse failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "", "raw `go test -bench` output (required)")
+		basePath  = flag.String("baseline", "", "BENCH_INFERENCE.json to gate against (required)")
+		threshold = flag.Float64("threshold", 0.20, "allowed relative regression (0.20 = 20%)")
+		outPath   = flag.String("out", "", "also write the verdict report to this file")
+	)
+	flag.Parse()
+	if *benchPath == "" || *basePath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -bench and -baseline are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	bf, err := os.Open(*benchPath)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := parseBench(bf)
+	bf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	base, err := loadBaseline(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+
+	report, ok := gate(data, base, *threshold)
+	fmt.Print(report)
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, []byte(report), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}

@@ -10,39 +10,54 @@ import (
 
 // This file is the inference engine: the allocation-free forward pass behind
 // Predict/PredictBatch. The autodiff tape (Forward) remains the training
-// path and the reference semantics; the engine reproduces its arithmetic
-// operation for operation — same kernel loop bodies, same accumulation
-// order — so predictions agree bit for bit (TestInferEngineMatchesTape
-// enforces ≤ 1e-12, and in practice the difference is exactly zero).
+// path and the reference semantics; the engine reproduces its arithmetic up
+// to float reassociation — the kernels below reassociate sums (tiled
+// matmuls, precomputed attention projections, fused softmax scaling) to run
+// near the FLOP limit, so predictions agree with the tape to a relaxed
+// tolerance (TestInferEngineMatchesTape enforces ≤ 1e-9; the float32
+// weights path is gated at ≤ 1e-4) instead of bit for bit.
 //
-// Two precomputed structures make the hot path cheap:
+// Three precomputed structures make the hot path cheap:
 //
 //   - InferencePlan: per encoded Graph, derived once and cached in the graph
 //     (and therefore in the serving tier's encode cache). It re-orders each
-//     relation's edge list CSR-style — grouped by destination node, original
-//     order preserved within a group — so attention softmax and message
-//     aggregation become one loop nest over contiguous runs instead of six
-//     tape ops materializing six fresh matrices.
+//     relation's edge list CSR-style — grouped by destination node — and
+//     additionally derives the relation's unique-source list: the only rows
+//     whose W_r projection the relation ever reads. Most ParaGraph
+//     relations touch a small fraction of the graph, so projecting source
+//     rows only cuts the dominant N·H² matmul cost to |sources|·H².
+//
+//   - inferModel (model.go): weight-derived constants computed once at
+//     checkpoint-load time, not per forward — the per-relation attention
+//     projections p_src = W_r·aSrc and p_dst = W_r·aDst (so attention
+//     scores become one H-dot per node instead of an H²-projection), and,
+//     when float32 inference is enabled, the converted float32 weight set.
 //
 //   - inferWorkspace: the scratch matrices of one forward pass, sized from
-//     the model Config and graph shape, backed by a tensor.Arena and pooled
+//     the model Config and graph shape, backed by tensor arenas and pooled
 //     on the Model via sync.Pool. In steady state a forward pass performs
 //     zero heap allocations (asserted by TestInferForwardZeroAllocs).
+//
+// The matmuls dispatch between the register-blocked tiled kernel and the
+// skip-zero row kernel on the measured density of the layer input: ReLU
+// zeroes roughly half of each hidden layer's activations, and below
+// denseCutoff the skipped inner loops beat the tiled kernel's blocking.
 
 // relPlan is one relation's edges re-ordered by destination node.
 type relPlan struct {
-	src      []int     // source node per edge, destination-grouped
-	logW     []float64 // raw log1p edge weight per edge, same order
-	runStart []int     // len(runs)+1 offsets into src/logW
-	runDst   []int     // destination node of each run
-	incident []int     // sorted union of source and destination nodes
+	logW       []float64 // raw log1p edge weight per edge, destination-grouped
+	edgeSrcIdx []int     // per edge: index of its source node in srcList
+	runStart   []int     // len(runs)+1 offsets into logW/edgeSrcIdx
+	runDst     []int     // destination node of each run
+	srcList    []int     // unique source nodes, ascending
 }
 
 // InferencePlan is the per-graph constant structure of the fused RGAT path:
-// destination-grouped edge lists for every relation plus the longest
-// attention segment (which sizes the softmax scratch buffer). It depends
-// only on the graph topology — not on WScale or any model parameter — so
-// one plan serves every model and every advisor-scaled view of the graph.
+// destination-grouped edge lists and unique-source lists for every relation
+// plus the longest attention segment (which sizes the softmax scratch
+// buffer). It depends only on the graph topology — not on WScale or any
+// model parameter — so one plan serves every model and every
+// advisor-scaled view of the graph.
 type InferencePlan struct {
 	rels   []relPlan
 	maxRun int
@@ -78,9 +93,8 @@ func (g *Graph) plan() *InferencePlan {
 }
 
 // buildPlan groups each relation's edges by destination with a stable
-// counting sort. Stability matters for exactness: within one destination the
-// edges keep their original order, so softmax sums and scatter-adds
-// accumulate in the same sequence as the tape ops.
+// counting sort. Stability keeps softmax sums and message scatter-adds
+// accumulating in the tape ops' edge order within each destination.
 func buildPlan(g *Graph) *InferencePlan {
 	p := &InferencePlan{rels: make([]relPlan, len(g.Rels))}
 	for r := range g.Rels {
@@ -104,14 +118,28 @@ func buildPlan(g *Graph) *InferencePlan {
 			}
 			start[d+1] += start[d]
 		}
-		rp.src = make([]int, e)
+		// Unique sources, ascending, and each node's slot in that list: the
+		// relation's q-projection runs over srcList rows only, and each edge
+		// addresses its source's projected row through edgeSrcIdx.
+		seen := make([]bool, g.NumNodes)
+		for _, s := range rel.Src {
+			seen[s] = true
+		}
+		idxOf := make([]int, g.NumNodes)
+		for i, ok := range seen {
+			if ok {
+				idxOf[i] = len(rp.srcList)
+				rp.srcList = append(rp.srcList, i)
+			}
+		}
+		rp.edgeSrcIdx = make([]int, e)
 		rp.logW = make([]float64, e)
 		next := make([]int, g.NumNodes)
 		copy(next, start[:g.NumNodes])
 		for i, d := range rel.Dst {
 			slot := next[d]
 			next[d]++
-			rp.src[slot] = rel.Src[i]
+			rp.edgeSrcIdx[slot] = idxOf[rel.Src[i]]
 			rp.logW[slot] = rel.LogW[i]
 		}
 		rp.runStart = make([]int, 0, runs+1)
@@ -123,30 +151,42 @@ func buildPlan(g *Graph) *InferencePlan {
 			}
 		}
 		rp.runStart = append(rp.runStart, e)
-		// Incident nodes: the only rows of q/srcScore/dstScore the relation
-		// ever reads. Most ParaGraph relations touch a small fraction of the
-		// graph, so restricting the per-relation projections to this list
-		// (exact — rows are computed independently) cuts the dominant
-		// N·H² matmul cost to incident·H².
-		seen := make([]bool, g.NumNodes)
-		for _, s := range rel.Src {
-			seen[s] = true
-		}
-		for _, d := range rel.Dst {
-			seen[d] = true
-		}
-		for i, ok := range seen {
-			if ok {
-				rp.incident = append(rp.incident, i)
-			}
-		}
 	}
 	return p
 }
 
-// inferWorkspace holds every scratch buffer one engine forward pass needs.
+// denseCutoff is the zero fraction above which a layer input routes its
+// matmuls through the skip-zero kernel instead of the tiled one. On paper:
+// at zero fraction z the skip kernel does (1-z) of the naive work while the
+// tiled kernel runs at ~0.75× naive, suggesting a crossover near z = 0.25.
+// Measured, the crossover is far higher: ReLU zeros land in unpredictable
+// positions, so the skip branch mispredicts on roughly min(z, 1-z) of
+// elements, and the skip kernel's load-add-store inner loop retires far
+// fewer FLOPs per cycle than the register-blocked one. Typical ParaGraph
+// activations (z ≈ 0.5) run faster fully tiled; only strongly sparse
+// inputs pay their way through the skip kernel.
+const denseCutoff = 0.7
+
+// reluIntoDensity computes dst = max(src, 0) element-wise (dst is reshaped
+// to src's shape via the arena) and reports whether the result is dense
+// enough that the next layer's matmuls should stay on the tiled kernel.
+// Both the rectification and the zero count are branchless — the input's
+// sign pattern is effectively random, so a compare-and-branch here would
+// mispredict on half the elements.
+func reluIntoDensity(ar *tensor.Arena, src, dst *tensor.Matrix) bool {
+	ar.GetMatrix(dst, src.Rows, src.Cols)
+	neg := 0
+	for i, v := range src.Data {
+		neg += int(math.Float64bits(v) >> 63)
+		dst.Data[i] = max(v, 0)
+	}
+	return float64(neg) < denseCutoff*float64(len(src.Data))
+}
+
+// inferWorkspace holds every scratch buffer one engine forward pass needs,
+// for both element widths (only the width the model serves is ever grown).
 // Matrices are stored by value (headers owned here, data owned by the
-// arena), so re-running a pass over a same-shaped graph touches no
+// arenas), so re-running a pass over a same-shaped graph touches no
 // allocator at all. Workspaces are pooled per Model and used by one
 // goroutine at a time.
 type inferWorkspace struct {
@@ -154,10 +194,9 @@ type inferWorkspace struct {
 
 	h        tensor.Matrix // N×H node embeddings (layer input)
 	layerOut tensor.Matrix // N×H convolution accumulator
-	q        tensor.Matrix // N×H per-relation projected features
-	scatter  tensor.Matrix // N×H per-relation aggregated messages
-	srcScore tensor.Matrix // N×1 source attention scores
-	dstScore tensor.Matrix // N×1 destination attention scores
+	hs       tensor.Matrix // S×H gathered source rows
+	qc       tensor.Matrix // S×H projected source rows
+	srcScore []float64     // S source attention scores
 	logits   []float64     // longest-run softmax scratch
 
 	pooled  tensor.Matrix // 1×H mean-pooled graph embedding
@@ -167,6 +206,22 @@ type inferWorkspace struct {
 	featEmb tensor.Matrix // 1×F feature-branch embedding
 	concat  tensor.Matrix // 1×(H+F) head input
 	outBuf  tensor.Matrix // 1×1 prediction
+
+	// Float32 twins (see infer32.go), used when the model serves the
+	// float32 inference-weights path.
+	arena32    tensor.Arena32
+	h32        tensor.Matrix32
+	layerOut32 tensor.Matrix32
+	hs32       tensor.Matrix32
+	qc32       tensor.Matrix32
+	srcScore32 []float32
+	pooled32   tensor.Matrix32
+	emb32      tensor.Matrix32
+	emb232     tensor.Matrix32
+	featIn32   tensor.Matrix32
+	featEmb32  tensor.Matrix32
+	concat32   tensor.Matrix32
+	outBuf32   tensor.Matrix32
 }
 
 // acquireWS takes a pooled workspace (allocating the empty shell only the
@@ -179,17 +234,21 @@ func (m *Model) releaseWS(ws *inferWorkspace) { m.wsPool.Put(ws) }
 
 // inferForward runs one engine forward pass: fused node-feature assembly,
 // the fused RGAT convolutions, mean pooling, and the two-branch head. It
-// mirrors Model.Forward (the tape path) operation for operation.
+// mirrors Model.Forward (the tape path) up to float reassociation,
+// dispatching to the float32 engine when the model serves converted
+// inference weights.
 func (m *Model) inferForward(ws *inferWorkspace, s *Sample) float64 {
+	ip := m.inferParams()
+	if ip.f32 != nil {
+		return m.inferForward32(ws, s, ip.f32)
+	}
 	g := s.G
 	p := g.plan()
 	n, hdim := g.NumNodes, m.cfg.Hidden
 	ar := &ws.arena
 
 	// Node features: kind embedding + sub-kind embedding + scalar feature
-	// projected through featVec, fused into one pass over the rows. The
-	// f != 0 guard mirrors the tape's MatMul skip-zero fast path so signed
-	// zeros cannot drift.
+	// projected through featVec, fused into one pass over the rows.
 	ar.GetMatrix(&ws.h, n, hdim)
 	kt, st := m.kindEmb.Table.Value, m.subEmb.Table.Value
 	fv := m.featVec.Value.Row(0)
@@ -210,10 +269,11 @@ func (m *Model) inferForward(ws *inferWorkspace, s *Sample) float64 {
 	}
 
 	ws.logits = ar.GetSlice(ws.logits, p.maxRun)
-	for _, l := range m.layers {
-		l.infer(ws, p, g)
-		// h = ReLU(layerOut); alpha 0 keeps the tape's signed zeros.
-		tensor.LeakyReLUInto(&ws.layerOut, 0, &ws.h)
+	dense := true // the embedding sum is dense; ReLU sparsifies later layers
+	for li, l := range m.layers {
+		l.infer(ws, p, g, &ip.layers[li], dense)
+		// h = ReLU(layerOut), measuring density for the next layer's kernels.
+		dense = reluIntoDensity(ar, &ws.layerOut, &ws.h)
 	}
 
 	tensor.MeanRowsInto(&ws.h, &ws.pooled)
@@ -239,75 +299,65 @@ func (m *Model) inferForward(ws *inferWorkspace, s *Sample) float64 {
 	return ws.outBuf.Data[0]
 }
 
-// infer is the fused engine counterpart of rgatLayer.apply: per relation,
-// the gather of projected rows, attention logits, LeakyReLU, segment
-// softmax, static-weight scaling and scatter-add all execute as one loop
-// nest over the plan's destination-grouped runs. Messages accumulate into a
-// zeroed scatter buffer in the same per-destination order as the tape's
-// ScatterAddRows, then fold into the layer output with one element-wise
-// add — the exact association the tape's final Add performs.
-func (l *rgatLayer) infer(ws *inferWorkspace, p *InferencePlan, g *Graph) {
-	tensor.MatMulInto(&ws.h, l.self.Value, &ws.layerOut)
+// infer is the fused engine counterpart of rgatLayer.apply: per relation it
+// gathers the unique source rows, projects them through W_r with one tiled
+// (or skip-zero, when the layer input is ReLU-sparse) matmul, reads the
+// attention scores off the precomputed projections p_src/p_dst — one H-dot
+// per node instead of re-projecting through W_r — and runs LeakyReLU,
+// segment softmax, static-weight scaling and message aggregation as one
+// loop nest over the plan's destination-grouped runs, accumulating straight
+// into the layer output.
+func (l *rgatLayer) infer(ws *inferWorkspace, p *InferencePlan, g *Graph, ex *inferLayerExtras, dense bool) {
+	if dense {
+		tensor.MatMulInto(&ws.h, l.self.Value, &ws.layerOut)
+	} else {
+		tensor.MatMulSparseInto(&ws.h, l.self.Value, &ws.layerOut)
+	}
 	tensor.AddBiasInto(&ws.layerOut, l.bias.Value, &ws.layerOut)
 	wscale := g.WScale
 	if wscale <= 0 {
 		wscale = 1
 	}
-	n, hdim := ws.h.Rows, ws.h.Cols
+	hdim := ws.h.Cols
 	for r := range g.Rels {
 		if r >= len(l.w) {
 			break
 		}
 		rp := &p.rels[r]
-		if len(rp.src) == 0 {
+		if len(rp.edgeSrcIdx) == 0 {
 			continue
 		}
-		// Project only the relation's incident rows: q[i] = h[i]×W_r and the
-		// two attention scores, with the same skip-zero accumulation order as
-		// tensor.MatMul, so each computed row is bit-identical to the full
-		// product. Non-incident rows hold stale values that nothing reads.
-		ws.arena.GetMatrix(&ws.q, n, hdim)
-		ws.arena.GetMatrix(&ws.srcScore, n, 1)
-		ws.arena.GetMatrix(&ws.dstScore, n, 1)
-		wv := l.w[r].Value
-		asrc, adst := l.aSrc[r].Value.Data, l.aDst[r].Value.Data
-		for _, i := range rp.incident {
-			hrow := ws.h.Row(i)
-			qrow := ws.q.Row(i)
-			for j := range qrow {
-				qrow[j] = 0
-			}
-			for k, av := range hrow {
-				if av == 0 {
-					continue
-				}
-				wrow := wv.Row(k)
-				for j, bv := range wrow {
-					qrow[j] += av * bv
-				}
-			}
-			var ss, ds float64
-			for k, av := range qrow {
-				if av == 0 {
-					continue
-				}
-				ss += av * asrc[k]
-				ds += av * adst[k]
-			}
-			ws.srcScore.Data[i] = ss
-			ws.dstScore.Data[i] = ds
+		// Gather the relation's unique source rows and project them through
+		// W_r: qc[si] = h[srcList[si]]×W_r. Only these rows are ever read as
+		// messages, so the projection cost scales with the relation's source
+		// set, not the graph.
+		sn := len(rp.srcList)
+		ws.arena.GetMatrix(&ws.hs, sn, hdim)
+		for si, node := range rp.srcList {
+			copy(ws.hs.Row(si), ws.h.Row(node))
 		}
-		ws.arena.GetMatrix(&ws.scatter, n, hdim)
-		ws.scatter.Zero()
+		if dense {
+			tensor.MatMulInto(&ws.hs, l.w[r].Value, &ws.qc)
+		} else {
+			tensor.MatMulSparseInto(&ws.hs, l.w[r].Value, &ws.qc)
+		}
+		// Attention scores off the precomputed projections: one dot with
+		// p_src per source row; destination scores are one dot with p_dst
+		// per run, computed inline (each destination owns exactly one run).
+		ws.srcScore = ws.arena.GetSlice(ws.srcScore, sn)
+		pSrc, pDst := ex.pSrc[r], ex.pDst[r]
+		for si := 0; si < sn; si++ {
+			ws.srcScore[si] = tensor.Dot(ws.hs.Row(si), pSrc)
+		}
 		c := l.wCoef[r].Value.Data[0]
 		for t := 0; t+1 < len(rp.runStart); t++ {
 			lo, hi := rp.runStart[t], rp.runStart[t+1]
 			d := rp.runDst[t]
-			ds := ws.dstScore.Data[d]
+			ds := tensor.Dot(ws.h.Row(d), pDst)
 			run := ws.logits[:hi-lo]
 			mx := math.Inf(-1)
 			for i := lo; i < hi; i++ {
-				v := ws.srcScore.Data[rp.src[i]] + ds
+				v := ws.srcScore[rp.edgeSrcIdx[i]] + ds
 				if v < 0 {
 					v = l.alpha * v
 				}
@@ -322,30 +372,28 @@ func (l *rgatLayer) infer(ws *inferWorkspace, p *InferencePlan, g *Graph) {
 				run[i] = e
 				sum += e
 			}
-			drow := ws.scatter.Row(d)
+			// Segments whose sum underflows to zero stay unnormalized,
+			// exactly as the tape's SegmentSoftmax leaves them.
+			inv := 1.0
+			if sum > 0 {
+				inv = 1 / sum
+			}
+			drow := ws.layerOut.Row(d)
 			for i := lo; i < hi; i++ {
-				a := run[i-lo]
-				if sum > 0 {
-					a /= sum
-				}
 				// Static edge weights scale the message through the learned
-				// per-relation coefficient: (α·q)·(1 + c_r·w̃). The wt != 0
-				// guard and the two separate multiplies reproduce the tape's
-				// skip-zero MatMul and its two MulColBroadcast passes.
-				scale := 1.0
+				// per-relation coefficient: (α·q)·(1 + c_r·w̃), folded into
+				// one per-edge factor.
+				f := run[i-lo] * inv
 				if !l.noWeights {
 					if wt := rp.logW[i] / wscale; wt != 0 {
-						scale = wt*c + 1
+						f *= wt*c + 1
 					}
 				}
-				qrow := ws.q.Row(rp.src[i])
+				qrow := ws.qc.Row(rp.edgeSrcIdx[i])
 				for j, qv := range qrow {
-					msg := qv * a
-					msg *= scale
-					drow[j] += msg
+					drow[j] += qv * f
 				}
 			}
 		}
-		ws.layerOut.AddInPlace(&ws.scatter)
 	}
 }

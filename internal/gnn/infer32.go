@@ -1,0 +1,169 @@
+package gnn
+
+import (
+	"math"
+
+	"paragraph/internal/tensor"
+)
+
+// This file is the float32 mirror of the engine forward pass (infer.go):
+// the same fused node assembly, RGAT loop nest, and head, run over the
+// converted float32 weight set (inferparams.go) and the workspace's float32
+// twins. Halving the element width halves the memory traffic of every
+// matmul on the hot path. Softmax exponentials still go through float64
+// math.Exp (there is no float32 exp in the standard library); everything
+// else stays float32. TestInferEngine32MatchesTape gates the path at ≤1e-4
+// relative error against the float64 tape.
+
+// reluIntoDensity32 is the float32 twin of reluIntoDensity (branchless, see
+// the float64 version).
+func reluIntoDensity32(ar *tensor.Arena32, src, dst *tensor.Matrix32) bool {
+	ar.GetMatrix(dst, src.Rows, src.Cols)
+	neg := 0
+	for i, v := range src.Data {
+		neg += int(math.Float32bits(v) >> 31)
+		dst.Data[i] = max(v, 0)
+	}
+	return float64(neg) < denseCutoff*float64(len(src.Data))
+}
+
+// inferForward32 runs one engine forward pass in float32. The prediction is
+// widened back to float64 at the very end.
+func (m *Model) inferForward32(ws *inferWorkspace, s *Sample, w *weights32) float64 {
+	g := s.G
+	p := g.plan()
+	n, hdim := g.NumNodes, m.cfg.Hidden
+	ar := &ws.arena32
+
+	ar.GetMatrix(&ws.h32, n, hdim)
+	fv := w.featVec
+	for i := 0; i < n; i++ {
+		krow := w.kindTab.Row(g.Kinds[i])
+		srow := w.subTab.Row(g.SubKinds[i])
+		hrow := ws.h32.Row(i)
+		f := float32(g.Feats.Data[i])
+		if f != 0 {
+			for j := range hrow {
+				hrow[j] = krow[j] + srow[j] + f*fv[j]
+			}
+		} else {
+			for j := range hrow {
+				hrow[j] = krow[j] + srow[j]
+			}
+		}
+	}
+
+	// The softmax scratch stays the workspace's float64 logits buffer:
+	// exponentials run through math.Exp either way.
+	ws.logits = ws.arena.GetSlice(ws.logits, p.maxRun)
+	dense := true
+	for li := range w.layers {
+		inferLayer32(ws, p, g, &w.layers[li], w.noWeights, dense)
+		dense = reluIntoDensity32(ar, &ws.layerOut32, &ws.h32)
+	}
+
+	tensor.MeanRowsInto32(&ws.h32, &ws.pooled32)
+	tensor.MatMulInto32(&ws.pooled32, w.fc1W, &ws.emb32)
+	tensor.AddBiasInto32(&ws.emb32, w.fc1B, &ws.emb32)
+	tensor.LeakyReLUInto32(&ws.emb32, 0, &ws.emb32)
+	tensor.MatMulInto32(&ws.emb32, w.fc2W, &ws.emb232)
+	tensor.AddBiasInto32(&ws.emb232, w.fc2B, &ws.emb232)
+	tensor.LeakyReLUInto32(&ws.emb232, 0, &ws.emb232)
+
+	ar.GetMatrix(&ws.featIn32, 1, 2)
+	ws.featIn32.Data[0], ws.featIn32.Data[1] = float32(s.Feats[0]), float32(s.Feats[1])
+	tensor.MatMulInto32(&ws.featIn32, w.featW, &ws.featEmb32)
+	tensor.AddBiasInto32(&ws.featEmb32, w.featB, &ws.featEmb32)
+	tensor.LeakyReLUInto32(&ws.featEmb32, 0, &ws.featEmb32)
+
+	hc, fc := ws.emb232.Cols, ws.featEmb32.Cols
+	ar.GetMatrix(&ws.concat32, 1, hc+fc)
+	copy(ws.concat32.Data[:hc], ws.emb232.Data)
+	copy(ws.concat32.Data[hc:], ws.featEmb32.Data)
+	tensor.MatMulInto32(&ws.concat32, w.outW, &ws.outBuf32)
+	tensor.AddBiasInto32(&ws.outBuf32, w.outB, &ws.outBuf32)
+	return float64(ws.outBuf32.Data[0])
+}
+
+// inferLayer32 is the float32 twin of rgatLayer.infer, reading every weight
+// from the converted layer32 set. The run softmax borrows the workspace's
+// float64 logits buffer: exponentials are computed through math.Exp and the
+// normalized factors rounded back to float32 per edge.
+func inferLayer32(ws *inferWorkspace, p *InferencePlan, g *Graph, l *layer32, noWeights, dense bool) {
+	if dense {
+		tensor.MatMulInto32(&ws.h32, l.self, &ws.layerOut32)
+	} else {
+		tensor.MatMulSparseInto32(&ws.h32, l.self, &ws.layerOut32)
+	}
+	tensor.AddBiasInto32(&ws.layerOut32, l.bias, &ws.layerOut32)
+	wscale := g.WScale
+	if wscale <= 0 {
+		wscale = 1
+	}
+	hdim := ws.h32.Cols
+	for r := range g.Rels {
+		if r >= len(l.w) {
+			break
+		}
+		rp := &p.rels[r]
+		if len(rp.edgeSrcIdx) == 0 {
+			continue
+		}
+		sn := len(rp.srcList)
+		ws.arena32.GetMatrix(&ws.hs32, sn, hdim)
+		for si, node := range rp.srcList {
+			copy(ws.hs32.Row(si), ws.h32.Row(node))
+		}
+		if dense {
+			tensor.MatMulInto32(&ws.hs32, l.w[r], &ws.qc32)
+		} else {
+			tensor.MatMulSparseInto32(&ws.hs32, l.w[r], &ws.qc32)
+		}
+		ws.srcScore32 = ws.arena32.GetSlice(ws.srcScore32, sn)
+		pSrc, pDst := l.pSrc[r], l.pDst[r]
+		for si := 0; si < sn; si++ {
+			ws.srcScore32[si] = tensor.Dot(ws.hs32.Row(si), pSrc)
+		}
+		c := l.wCoef[r]
+		for t := 0; t+1 < len(rp.runStart); t++ {
+			lo, hi := rp.runStart[t], rp.runStart[t+1]
+			d := rp.runDst[t]
+			ds := tensor.Dot(ws.h32.Row(d), pDst)
+			run := ws.logits[:hi-lo]
+			mx := float32(math.Inf(-1))
+			for i := lo; i < hi; i++ {
+				v := ws.srcScore32[rp.edgeSrcIdx[i]] + ds
+				if v < 0 {
+					v = l.alpha * v
+				}
+				run[i-lo] = float64(v)
+				if v > mx {
+					mx = v
+				}
+			}
+			var sum float64
+			for i, v := range run {
+				e := math.Exp(v - float64(mx))
+				run[i] = e
+				sum += e
+			}
+			inv := 1.0
+			if sum > 0 {
+				inv = 1 / sum
+			}
+			drow := ws.layerOut32.Row(d)
+			for i := lo; i < hi; i++ {
+				f := float32(run[i-lo] * inv)
+				if !noWeights {
+					if wt := float32(rp.logW[i] / wscale); wt != 0 {
+						f *= wt*c + 1
+					}
+				}
+				qrow := ws.qc32.Row(rp.edgeSrcIdx[i])
+				for j, qv := range qrow {
+					drow[j] += qv * f
+				}
+			}
+		}
+	}
+}

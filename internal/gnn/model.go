@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"paragraph/internal/autodiff"
 	"paragraph/internal/nn"
@@ -164,6 +165,13 @@ type Model struct {
 	// Predict/PredictBatch calls; each borrowed workspace is used by one
 	// goroutine at a time.
 	wsPool sync.Pool
+
+	// Derived inference weights (see inferparams.go): precomputed attention
+	// projections and, when f32Mode is set, the converted float32 weight
+	// set. Rebuilt lazily after any invalidation.
+	inferMu sync.Mutex
+	inferP  atomic.Pointer[inferModel]
+	f32Mode atomic.Bool
 }
 
 // NewModel constructs the model with seeded initialization.
@@ -236,7 +244,11 @@ func (m *Model) Forward(f *nn.Forward, s *Sample) *autodiff.Var {
 
 // Predict returns the scaled prediction for a sample. It routes through the
 // inference engine (infer.go): a pooled, allocation-free forward pass whose
-// result matches the tape path (PredictTape) bit for bit.
+// result matches the tape path (PredictTape) to a tight relative tolerance
+// (≤1e-9 in the default float64 mode, ≤1e-4 with float32 inference weights;
+// see the equivalence tests). The engine's kernels reassociate sums —
+// tiled matmuls, precomputed attention projections — so agreement is
+// relaxed-equivalent rather than bit-exact.
 func (m *Model) Predict(s *Sample) float64 {
 	ws := m.acquireWS()
 	v := m.inferForward(ws, s)
@@ -313,8 +325,13 @@ func (m *Model) predictInto(out []float64, samples []*Sample, workers int) {
 func (m *Model) Save(w io.Writer) error { return nn.SaveParams(w, m.params) }
 
 // Load restores weights from a checkpoint produced by Save on an
-// identically-configured model.
-func (m *Model) Load(r io.Reader) error { return nn.LoadParams(r, m.params) }
+// identically-configured model, discarding any precomputed inference
+// weights derived from the previous values.
+func (m *Model) Load(r io.Reader) error {
+	err := nn.LoadParams(r, m.params)
+	m.InvalidateInference()
+	return err
+}
 
 // Checksum fingerprints the current weights (see nn.ChecksumParams).
 func (m *Model) Checksum() string { return nn.ChecksumParams(m.params) }

@@ -89,6 +89,9 @@ func (m *Model) Train(train, val []*Sample, cfg TrainConfig) (History, error) {
 			loss := m.trainBatch(batch, train, cfg)
 			nn.ClipGradNorm(m.params, cfg.ClipNorm)
 			opt.Step(m.params)
+			// The optimizer mutates parameter values in place; the engine's
+			// precomputed projections (inferparams.go) are now stale.
+			m.InvalidateInference()
 			epochLoss += loss
 			batches++
 		}

@@ -95,12 +95,51 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 		t.Errorf("restored scalers = %+v", e.Prep)
 	}
 
-	// Predictions through the round-tripped entry are bit-identical.
+	// Predictions through the round-tripped entry are bit-identical to the
+	// same weights served the same way (registry entries default to the
+	// float32 inference path, so the reference model must too).
 	s := testSample(t)
+	model.SetFloat32Inference(true)
 	want := model.PredictBatch([]*gnn.Sample{s})[0]
 	got := e.PredictBatch([]*gnn.Sample{s})[0]
 	if got != want {
 		t.Errorf("round-trip prediction %v != original %v", got, want)
+	}
+}
+
+// TestFloat64InferenceOptOut pins the Options escape hatch: a registry
+// opened with Float64Inference serves bit-identical predictions to a plain
+// float64 model, while the default (float32) registry agrees only within
+// the engine's gated tolerance.
+func TestFloat64InferenceOptOut(t *testing.T) {
+	root := t.TempDir()
+	model := saveTest(t, root, hw.V100(), "default", 7)
+	s := testSample(t)
+	want := model.PredictBatch([]*gnn.Sample{s})[0]
+
+	reg, err := Open(root, Options{Float64Inference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := reg.Lookup(hw.V100().Name, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.PredictBatch([]*gnn.Sample{s})[0]; got != want {
+		t.Errorf("float64 registry prediction %v != model %v", got, want)
+	}
+
+	reg32, err := Open(root, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e32, err := reg32.Lookup(hw.V100().Name, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e32.PredictBatch([]*gnn.Sample{s})[0]
+	if rel := math.Abs(got-want) / math.Max(1, math.Abs(want)); rel > 1e-4 {
+		t.Errorf("float32 registry prediction %v vs float64 %v (rel err %v)", got, want, rel)
 	}
 }
 
@@ -260,6 +299,9 @@ func TestEvictionAndReload(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := testSample(t)
+	// Entries serve the float32 inference path; match it on the references.
+	ma.SetFloat32Inference(true)
+	mb.SetFloat32Inference(true)
 	wantA := ma.PredictBatch([]*gnn.Sample{s})[0]
 	wantB := mb.PredictBatch([]*gnn.Sample{s})[0]
 

@@ -2,15 +2,14 @@ package tensor
 
 import "math/bits"
 
-// Arena recycles float64 buffers in power-of-two size classes. A forward
-// workspace (internal/gnn) sizes its scratch matrices through one Arena, so
-// when request graph shapes vary the outgrown buffers are reused for the
-// next shape instead of becoming garbage — the whole pass keeps riding one
-// flat set of allocations.
-//
-// An Arena is not safe for concurrent use; each workspace owns its own.
-type Arena struct {
-	classes map[int][][]float64
+// freelist recycles buffers in power-of-two size classes; it is the shared
+// engine behind Arena (float64) and Arena32 (float32). A forward workspace
+// (internal/gnn) sizes its scratch matrices through one arena, so when
+// request graph shapes vary the outgrown buffers are reused for the next
+// shape instead of becoming garbage — the whole pass keeps riding one flat
+// set of allocations.
+type freelist[F Float] struct {
+	classes map[int][][]F
 }
 
 // sizeClass rounds n up to the next power of two (minimum 8, so tiny
@@ -22,9 +21,9 @@ func sizeClass(n int) int {
 	return 1 << bits.Len(uint(n-1))
 }
 
-// Get returns a length-n buffer, reusing a recycled one from n's size class
+// get returns a length-n buffer, reusing a recycled one from n's size class
 // when available. Contents are unspecified; callers overwrite.
-func (a *Arena) Get(n int) []float64 {
+func (a *freelist[F]) get(n int) []F {
 	if n == 0 {
 		return nil
 	}
@@ -34,13 +33,13 @@ func (a *Arena) Get(n int) []float64 {
 		a.classes[c] = bufs[:len(bufs)-1]
 		return buf[:n]
 	}
-	return make([]float64, n, c)
+	return make([]F, n, c)
 }
 
-// Put recycles buf into its size class for a later Get. Buffers whose
+// put recycles buf into its size class for a later get. Buffers whose
 // capacity is not a power-of-two class (built outside the arena) are filed
 // under the largest class they can fully serve.
-func (a *Arena) Put(buf []float64) {
+func (a *freelist[F]) put(buf []F) {
 	c := cap(buf)
 	if c < 8 {
 		return
@@ -50,10 +49,34 @@ func (a *Arena) Put(buf []float64) {
 		return
 	}
 	if a.classes == nil {
-		a.classes = map[int][][]float64{}
+		a.classes = map[int][][]F{}
 	}
 	a.classes[class] = append(a.classes[class], buf[:0])
 }
+
+// getSlice returns a length-n slice, recycling prev through the free lists.
+// A steady-state call (cap(prev) >= n) reslices without touching them.
+func (a *freelist[F]) getSlice(prev []F, n int) []F {
+	if cap(prev) >= n {
+		return prev[:n]
+	}
+	a.put(prev)
+	return a.get(n)
+}
+
+// Arena recycles float64 buffers in power-of-two size classes.
+//
+// An Arena is not safe for concurrent use; each workspace owns its own.
+type Arena struct {
+	freelist[float64]
+}
+
+// Get returns a length-n buffer, reusing a recycled one from n's size class
+// when available. Contents are unspecified; callers overwrite.
+func (a *Arena) Get(n int) []float64 { return a.get(n) }
+
+// Put recycles buf into its size class for a later Get.
+func (a *Arena) Put(buf []float64) { a.put(buf) }
 
 // GetMatrix shapes m as rows×cols backed by an arena buffer, recycling m's
 // previous backing array first. Use it to (re)size workspace matrices: in
@@ -65,18 +88,42 @@ func (a *Arena) GetMatrix(m *Matrix, rows, cols int) {
 		m.Data = m.Data[:n]
 		return
 	}
-	a.Put(m.Data)
+	a.put(m.Data)
 	m.Rows, m.Cols = rows, cols
-	m.Data = a.Get(n)
+	m.Data = a.get(n)
 }
 
 // GetSlice returns a length-n slice, recycling prev through the arena. Like
 // GetMatrix, a steady-state call (cap(prev) >= n) reslices without touching
 // the free lists.
-func (a *Arena) GetSlice(prev []float64, n int) []float64 {
-	if cap(prev) >= n {
-		return prev[:n]
-	}
-	a.Put(prev)
-	return a.Get(n)
+func (a *Arena) GetSlice(prev []float64, n int) []float64 { return a.getSlice(prev, n) }
+
+// Arena32 is the float32 arena behind the inference-weights fast path's
+// workspaces. Like Arena, it is single-goroutine by design.
+type Arena32 struct {
+	freelist[float32]
 }
+
+// Get returns a length-n buffer, reusing a recycled one from n's size class
+// when available. Contents are unspecified; callers overwrite.
+func (a *Arena32) Get(n int) []float32 { return a.get(n) }
+
+// Put recycles buf into its size class for a later Get.
+func (a *Arena32) Put(buf []float32) { a.put(buf) }
+
+// GetMatrix shapes m as rows×cols backed by an arena buffer, recycling m's
+// previous backing array first.
+func (a *Arena32) GetMatrix(m *Matrix32, rows, cols int) {
+	n := rows * cols
+	if cap(m.Data) >= n {
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:n]
+		return
+	}
+	a.put(m.Data)
+	m.Rows, m.Cols = rows, cols
+	m.Data = a.get(n)
+}
+
+// GetSlice returns a length-n slice, recycling prev through the arena.
+func (a *Arena32) GetSlice(prev []float32, n int) []float32 { return a.getSlice(prev, n) }

@@ -1,0 +1,126 @@
+package tensor
+
+// Matrix32 is the float32 mirror of Matrix: the element type of the
+// inference-weights fast path. Only the kernels the inference engine needs
+// exist in float32 — training, the autodiff tape, and checkpoint
+// serialization stay float64, and a Matrix32 is always derived from a
+// float64 source at load time (see gnn's precomputed inference weights).
+// Halving the element size halves the memory traffic of every matmul and
+// doubles the rows of a weight panel that fit in one cache line.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32 // len Rows*Cols, row-major
+}
+
+// NewMatrix32 returns a zeroed Rows×Cols float32 matrix.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimensions")
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Convert32 returns a freshly allocated float32 copy of a float64 matrix,
+// rounding each element to nearest.
+func Convert32(src *Matrix) *Matrix32 {
+	m := NewMatrix32(src.Rows, src.Cols)
+	for i, v := range src.Data {
+		m.Data[i] = float32(v)
+	}
+	return m
+}
+
+// Convert32Slice rounds a float64 slice to a fresh float32 slice.
+func Convert32Slice(src []float64) []float32 {
+	out := make([]float32, len(src))
+	for i, v := range src {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// Row returns a mutable slice view of row i.
+func (m *Matrix32) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// At returns element (i, j).
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// SameShape reports whether two matrices have identical dimensions.
+func (m *Matrix32) SameShape(o *Matrix32) bool { return m.Rows == o.Rows && m.Cols == o.Cols }
+
+// reshape points m at a rows×cols view of its backing array, growing the
+// array only when capacity is insufficient (the float32 twin of
+// Matrix.reshape).
+func (m *Matrix32) reshape(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic("tensor: reshape to negative dimensions")
+	}
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float32, n)
+	}
+	m.Rows, m.Cols = rows, cols
+	m.Data = m.Data[:n]
+}
+
+// MatMulInto32 computes dst = a×b through the register-blocked tiled kernel
+// (tiled.go). dst must not alias a or b; it is reshaped to a.Rows×b.Cols
+// and fully overwritten.
+func MatMulInto32(a, b, dst *Matrix32) {
+	shapeCheck(a.Cols == b.Rows, "MatMulInto32 %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	dst.reshape(a.Rows, b.Cols)
+	matMulTiled(a.Data, a.Rows, a.Cols, b.Data, b.Cols, dst.Data)
+}
+
+// MatMulSparseInto32 is MatMulInto32 through the skip-zero row kernel, for
+// operands whose rows are zero-heavy (post-ReLU activations).
+func MatMulSparseInto32(a, b, dst *Matrix32) {
+	shapeCheck(a.Cols == b.Rows, "MatMulSparseInto32 %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	dst.reshape(a.Rows, b.Cols)
+	matMulSparseRows(a.Data, a.Rows, a.Cols, b.Data, b.Cols, dst.Data)
+}
+
+// AddBiasInto32 computes dst = a + bias, broadcasting the 1×C bias over a's
+// rows. dst may alias a.
+func AddBiasInto32(a, bias, dst *Matrix32) {
+	shapeCheck(bias.Rows == 1 && bias.Cols == a.Cols,
+		"AddBiasInto32 %dx%d + %dx%d", a.Rows, a.Cols, bias.Rows, bias.Cols)
+	dst.reshape(a.Rows, a.Cols)
+	brow := bias.Row(0)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j, v := range arow {
+			drow[j] = v + brow[j]
+		}
+	}
+}
+
+// LeakyReLUInto32 computes dst = max(x, alpha*x) element-wise. dst may
+// alias a.
+func LeakyReLUInto32(a *Matrix32, alpha float32, dst *Matrix32) {
+	dst.reshape(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		if v < 0 {
+			v = alpha * v
+		}
+		dst.Data[i] = v
+	}
+}
+
+// MeanRowsInto32 computes the 1×C mean over a's rows, accumulating in row
+// order. dst must not alias a.
+func MeanRowsInto32(a, dst *Matrix32) {
+	shapeCheck(a.Rows > 0, "MeanRowsInto32 of empty matrix")
+	dst.reshape(1, a.Cols)
+	clear(dst.Data)
+	for i := 0; i < a.Rows; i++ {
+		for j, v := range a.Row(i) {
+			dst.Data[j] += v
+		}
+	}
+	inv := 1 / float32(a.Rows)
+	for j := range dst.Data {
+		dst.Data[j] *= inv
+	}
+}

@@ -1,0 +1,166 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMat32(rng *rand.Rand, rows, cols int) *Matrix32 {
+	m := NewMatrix32(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64())
+	}
+	return m
+}
+
+// naiveMatMul32 is the float32 reference product: plain ijk with the k loop
+// innermost and in order — the same per-element accumulation order as the
+// tiled kernel.
+func naiveMatMul32(a, b *Matrix32) *Matrix32 {
+	out := NewMatrix32(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow, orow := a.Row(i), out.Row(i)
+		for j := 0; j < b.Cols; j++ {
+			var s float32
+			for t := 0; t < a.Cols; t++ {
+				s += arow[t] * b.Data[t*b.Cols+j]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+func assertExact32(t *testing.T, name string, got, want *Matrix32) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d = %v, want %v", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestMatMul32MatchesNaive fuzzes the float32 tiled and sparse kernels
+// against the in-order naive product across tile-edge geometries. Identical
+// accumulation order makes the comparison bit-exact (the float32 operands
+// contain no negative zeros for the skip-zero branch to flip).
+func TestMatMul32MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	dst := &Matrix32{}
+	for trial := 0; trial < 200; trial++ {
+		m, k, n := rng.Intn(20), rng.Intn(20), rng.Intn(140)
+		a, b := randMat32(rng, m, k), randMat32(rng, k, n)
+		for i := range a.Data {
+			if rng.Float64() < 0.3 {
+				a.Data[i] = 0
+			}
+		}
+		want := naiveMatMul32(a, b)
+		MatMulInto32(a, b, dst)
+		assertExact32(t, "MatMulInto32", dst, want)
+		MatMulSparseInto32(a, b, dst)
+		assertExact32(t, "MatMulSparseInto32", dst, want)
+	}
+}
+
+// TestF32KernelsMatchFloat64 pins each float32 elementwise kernel to its
+// float64 counterpart run on the converted operands: the same formula at
+// lower precision, so results agree to float32 rounding of the float64
+// result.
+func TestF32KernelsMatchFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a64 := randMat(rng, 7, 5)
+	a32 := Convert32(a64)
+
+	bias64 := randMat(rng, 1, 5)
+	bias32 := Convert32(bias64)
+	got, want := &Matrix32{}, New(0, 0)
+	AddBiasInto32(a32, bias32, got)
+	AddBiasInto(a64, bias64, want)
+	for i := range want.Data {
+		if math.Abs(float64(got.Data[i])-want.Data[i]) > 1e-6*math.Max(1, math.Abs(want.Data[i])) {
+			t.Fatalf("AddBiasInto32 element %d = %v, want ≈%v", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	LeakyReLUInto32(a32, 0.2, got)
+	LeakyReLUInto(a64, 0.2, want)
+	for i := range want.Data {
+		if math.Abs(float64(got.Data[i])-want.Data[i]) > 1e-6 {
+			t.Fatalf("LeakyReLUInto32 element %d = %v, want ≈%v", i, got.Data[i], want.Data[i])
+		}
+	}
+	// Exact zeros and signs must survive the float32 ReLU.
+	z := &Matrix32{Rows: 1, Cols: 3, Data: []float32{0, -1, 2}}
+	LeakyReLUInto32(z, 0, z)
+	if z.Data[0] != 0 || z.Data[1] != 0 || z.Data[2] != 2 {
+		t.Fatalf("LeakyReLUInto32 alpha=0 = %v", z.Data)
+	}
+
+	MeanRowsInto32(a32, got)
+	MeanRowsInto(a64, want)
+	for i := range want.Data {
+		if math.Abs(float64(got.Data[i])-want.Data[i]) > 1e-6 {
+			t.Fatalf("MeanRowsInto32 element %d = %v, want ≈%v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestConvert32 pins the conversion helpers: shape preserved, elements
+// rounded to nearest float32.
+func TestConvert32(t *testing.T) {
+	src := FromData(2, 3, []float64{1, -2.5, 1e-300, math.Pi, -0.0, 3e38})
+	m := Convert32(src)
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	for i, v := range src.Data {
+		if m.Data[i] != float32(v) {
+			t.Errorf("element %d = %v, want %v", i, m.Data[i], float32(v))
+		}
+	}
+	s := Convert32Slice(src.Data)
+	for i, v := range src.Data {
+		if s[i] != float32(v) {
+			t.Errorf("slice element %d = %v, want %v", i, s[i], float32(v))
+		}
+	}
+	if got := m.At(1, 0); got != float32(math.Pi) {
+		t.Errorf("At(1,0) = %v", got)
+	}
+}
+
+// TestArena32Recycles mirrors the float64 arena tests: steady-state
+// GetMatrix/GetSlice calls on stable shapes must not allocate, and grown
+// buffers must flow back through the free lists.
+func TestArena32Recycles(t *testing.T) {
+	var ar Arena32
+	var m Matrix32
+	ar.GetMatrix(&m, 8, 8)
+	prev := &m.Data[0]
+	if allocs := testing.AllocsPerRun(50, func() { ar.GetMatrix(&m, 8, 8) }); allocs != 0 {
+		t.Errorf("steady-state GetMatrix allocates %v/run", allocs)
+	}
+	if &m.Data[0] != prev {
+		t.Error("steady-state GetMatrix moved the backing array")
+	}
+
+	buf := ar.Get(100)
+	ar.Put(buf)
+	buf2 := ar.Get(100)
+	if &buf[0] != &buf2[0] {
+		t.Error("Put/Get did not recycle the buffer")
+	}
+
+	s := ar.GetSlice(nil, 16)
+	if len(s) != 16 {
+		t.Fatalf("GetSlice len %d", len(s))
+	}
+	if allocs := testing.AllocsPerRun(50, func() { s = ar.GetSlice(s, 16) }); allocs != 0 {
+		t.Errorf("steady-state GetSlice allocates %v/run", allocs)
+	}
+}

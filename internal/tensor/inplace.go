@@ -5,9 +5,11 @@ import "math"
 // This file holds the destination-passing kernels behind the inference fast
 // path (internal/gnn): each op writes into a caller-owned matrix instead of
 // allocating a fresh one, so a whole forward pass can run out of a pooled
-// workspace with zero heap traffic. Every kernel reuses the exact loop body
-// of its allocating counterpart (or the matching autodiff tape op), so the
-// two paths produce bit-identical values.
+// workspace with zero heap traffic. The elementwise kernels reuse the exact
+// loop body of their allocating counterparts (or the matching autodiff tape
+// op) and produce bit-identical values; MatMulInto instead runs the tiled
+// kernel (tiled.go), which preserves per-element accumulation order and so
+// agrees with the naive MatMul to the last ulp.
 //
 // The engine calls MatMulInto, AddBiasInto, LeakyReLUInto and MeanRowsInto
 // directly; the message-path ops (GatherRowsInto, ScatterAddRowsInto,
@@ -39,12 +41,28 @@ func (m *Matrix) reshape(rows, cols int) {
 }
 
 // MatMulInto computes dst = a×b. dst must not alias a or b; it is reshaped
-// to a.Rows×b.Cols and fully overwritten.
+// to a.Rows×b.Cols and fully overwritten. Unlike the allocating MatMul
+// (which stays the naive reference kernel the autodiff tape is defined by),
+// MatMulInto runs the register-blocked tiled kernel (tiled.go): each output
+// element still accumulates its k products in index order, so results agree
+// with MatMul to the last ulp (they can differ only where MatMul's
+// skip-zero branch changes a signed zero).
 func MatMulInto(a, b, dst *Matrix) {
 	shapeCheck(a.Cols == b.Rows, "MatMulInto %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	dst.reshape(a.Rows, b.Cols)
-	dst.Zero()
-	matMulRange(a, b, dst, 0, a.Rows)
+	matMulTiled(a.Data, a.Rows, a.Cols, b.Data, b.Cols, dst.Data)
+}
+
+// MatMulSparseInto is MatMulInto through the skip-zero row kernel: a zero
+// element of a skips its whole b-row pass, so the cost scales with a's
+// non-zero count. Worth it for operands whose rows are zero-heavy —
+// post-ReLU activations, typically — where skipped inner loops beat the
+// tiled kernel's register blocking; the inference engine dispatches between
+// the two on measured density.
+func MatMulSparseInto(a, b, dst *Matrix) {
+	shapeCheck(a.Cols == b.Rows, "MatMulSparseInto %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	dst.reshape(a.Rows, b.Cols)
+	matMulSparseRows(a.Data, a.Rows, a.Cols, b.Data, b.Cols, dst.Data)
 }
 
 // AddInto computes dst = a + b. dst may alias a or b.
