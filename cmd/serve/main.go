@@ -22,6 +22,8 @@
 //	      [-platforms "IBM POWER9 (CPU),NVIDIA V100 (GPU)"]
 //	      [-epochs N] [-points N]
 //	      [-cache-file PATH] [-cache-snapshot 5m]
+//	      [-admit-queue N] [-admit-per-client N]
+//	      [-jobs-max N] [-jobs-ttl 5m]
 //	      [-self http://host:8080 -peers http://host:8080,http://host2:8080]
 //	      [-replication 2]
 //	      [-log-level info] [-trace-slow 250ms] [-trace-ring 128]
@@ -30,7 +32,9 @@
 // Endpoints:
 //
 //	POST /v1/advise     rank variant grid for a kernel on one machine
+//	                    (?async=1 submits a job, answered 202 + job id)
 //	POST /v1/predict    predict one variant's runtime
+//	GET  /v1/jobs/{id}  poll an async advise job (?stream=1 for NDJSON)
 //	GET  /v1/healthz    liveness and served machines
 //	GET  /v1/models     served model versions per platform
 //	GET  /v1/stats      cache/batcher/pool/per-model/cluster counters
@@ -38,6 +42,14 @@
 //	GET  /v1/trace      recent request traces (?id= for one, ?n= to bound)
 //	GET  /metrics       Prometheus text exposition of every serve_* series
 //	POST /v1/replicate  peer-internal cache write-through (cluster mode)
+//
+// Overload behaviour (docs/OPERATIONS.md, "Overload & Admission Control"):
+// requests beyond the pool queue per client under deficit-round-robin
+// fairness up to -admit-queue/-admit-per-client, then shed with 503 +
+// Retry-After; an X-Paragraph-Deadline request header sheds eagerly when
+// the estimated drain exceeds the budget, and the remaining budget
+// propagates across cluster forwards. -jobs-max/-jobs-ttl bound the async
+// job store.
 //
 // Observability (docs/OPERATIONS.md, "Monitoring & Profiling"): GET
 // /metrics serves Prometheus text exposition, GET /v1/trace the recent
@@ -233,6 +245,10 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 	batchWait := fs.Duration("batch-wait", 0, "micro-batching window (0 = default)")
 	poolSize := fs.Int("pool", 0, "max evaluations in flight (0 = GOMAXPROCS)")
 	gridWorkers := fs.Int("grid-workers", 0, "per-advise grid fan-out (0 = GOMAXPROCS)")
+	admitQueue := fs.Int("admit-queue", 0, "admission queue depth beyond the pool before 503 shedding (0 = default)")
+	admitPerClient := fs.Int("admit-per-client", 0, "per-client cap on queued+running work (0 = default)")
+	jobsMax := fs.Int("jobs-max", 0, "async advise jobs retained before submissions shed (0 = default)")
+	jobsTTL := fs.Duration("jobs-ttl", 0, "finished async jobs retained this long for polling (0 = default)")
 	logLevel := fs.String("log-level", "info", "log floor: debug, info, warn or error")
 	traceSlow := fs.Duration("trace-slow", 0, "log traced requests at or above this latency (0 = default 250ms, negative = disable)")
 	traceRing := fs.Int("trace-ring", 0, "finished request traces retained for GET /v1/trace (0 = default)")
@@ -302,6 +318,10 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 		BatchWait:       *batchWait,
 		PoolSize:        *poolSize,
 		GridWorkers:     *gridWorkers,
+		QueueLimit:      *admitQueue,
+		QueuePerClient:  *admitPerClient,
+		JobLimit:        *jobsMax,
+		JobTTL:          *jobsTTL,
 		TraceSlow:       *traceSlow,
 		TraceRing:       *traceRing,
 		Logger:          logger,

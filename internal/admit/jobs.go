@@ -1,0 +1,221 @@
+package admit
+
+import (
+	"sync"
+	"time"
+)
+
+// JobState is an async job's lifecycle phase.
+type JobState string
+
+const (
+	JobPending JobState = "pending" // submitted, not yet picked up
+	JobRunning JobState = "running" // evaluation in progress
+	JobDone    JobState = "done"    // finished, Result set
+	JobFailed  JobState = "failed"  // finished, Error set
+)
+
+// Job is one async evaluation's record. Snapshots returned by Get are
+// copies; Result is shared but treated as immutable once set.
+type Job struct {
+	ID       string
+	State    JobState
+	Created  time.Time
+	Started  time.Time // zero until running
+	Finished time.Time // zero until done/failed
+	Error    string
+	Result   any
+}
+
+// Store is a bounded, TTL-evicted job store backing the async advise
+// path. Submit sheds with ReasonJobsFull at capacity (clients get an
+// honest 503 instead of an unbounded backlog); finished jobs are garbage
+// collected TTL after completion, by a background sweeper and lazily on
+// Submit so a full store of expired jobs never wedges admission. Safe for
+// concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	max  int
+	ttl  time.Duration
+	jobs map[string]*Job
+
+	submitted uint64
+	rejected  uint64
+	expired   uint64
+
+	quit      chan struct{}
+	closeOnce sync.Once
+	now       func() time.Time // test hook
+}
+
+// NewStore returns a store holding at most max jobs, evicting finished
+// ones ttl after completion. max <= 0 defaults to 256; ttl <= 0 to 10
+// minutes. Close releases the background sweeper.
+func NewStore(max int, ttl time.Duration) *Store {
+	if max <= 0 {
+		max = 256
+	}
+	if ttl <= 0 {
+		ttl = 10 * time.Minute
+	}
+	st := &Store{
+		max:  max,
+		ttl:  ttl,
+		jobs: map[string]*Job{},
+		quit: make(chan struct{}),
+		now:  time.Now,
+	}
+	every := ttl / 4
+	if every < time.Second {
+		every = time.Second
+	}
+	go st.sweep(every)
+	return st
+}
+
+// Capacity reports the job bound; TTL the finished-job retention.
+func (st *Store) Capacity() int      { return st.max }
+func (st *Store) TTL() time.Duration { return st.ttl }
+
+// Submit registers a new pending job and returns its id, or a *ShedError
+// (ReasonJobsFull) when the store is at capacity even after evicting
+// expired jobs.
+func (st *Store) Submit() (string, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.jobs) >= st.max {
+		st.gcLocked()
+	}
+	if len(st.jobs) >= st.max {
+		st.rejected++
+		return "", &ShedError{Reason: ReasonJobsFull, RetryAfter: st.ttl}
+	}
+	id := newID()
+	for st.jobs[id] != nil { // vanishing collision odds, but ids must be unique
+		id = newID()
+	}
+	st.jobs[id] = &Job{ID: id, State: JobPending, Created: st.now()}
+	st.submitted++
+	return id, nil
+}
+
+// Start marks a pending job running. It reports whether the job existed.
+func (st *Store) Start(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return false
+	}
+	if j.State == JobPending {
+		j.State = JobRunning
+		j.Started = st.now()
+	}
+	return true
+}
+
+// Finish completes a job: with err nil it becomes done carrying result,
+// otherwise failed carrying the error text. It reports whether the job
+// existed (it may have been evicted under a very short TTL).
+func (st *Store) Finish(id string, result any, err error) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return false
+	}
+	j.Finished = st.now()
+	if err != nil {
+		j.State = JobFailed
+		j.Error = err.Error()
+		j.Result = nil
+	} else {
+		j.State = JobDone
+		j.Result = result
+	}
+	return true
+}
+
+// Get returns a snapshot of the job. The boolean is false for unknown or
+// already-evicted ids.
+func (st *Store) Get(id string) (Job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// gcLocked evicts finished jobs whose TTL elapsed.
+func (st *Store) gcLocked() {
+	cutoff := st.now().Add(-st.ttl)
+	for id, j := range st.jobs {
+		if (j.State == JobDone || j.State == JobFailed) && j.Finished.Before(cutoff) {
+			delete(st.jobs, id)
+			st.expired++
+		}
+	}
+}
+
+// sweep is the background GC loop.
+func (st *Store) sweep(every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-st.quit:
+			return
+		case <-tick.C:
+			st.mu.Lock()
+			st.gcLocked()
+			st.mu.Unlock()
+		}
+	}
+}
+
+// Close stops the background sweeper. Idempotent; the store stays usable
+// (GC continues lazily on Submit).
+func (st *Store) Close() {
+	st.closeOnce.Do(func() { close(st.quit) })
+}
+
+// StoreStats is the job store's /v1/stats section.
+type StoreStats struct {
+	Capacity   int     `json:"capacity"`
+	TTLSeconds float64 `json:"ttl_seconds"`
+	Pending    int     `json:"pending"`
+	Running    int     `json:"running"`
+	Done       int     `json:"done"`
+	Failed     int     `json:"failed"`
+	Submitted  uint64  `json:"submitted"`
+	Rejected   uint64  `json:"rejected"`
+	Expired    uint64  `json:"expired"`
+}
+
+// Stats snapshots the store's occupancy by state and cumulative counters.
+func (st *Store) Stats() StoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := StoreStats{
+		Capacity:   st.max,
+		TTLSeconds: st.ttl.Seconds(),
+		Submitted:  st.submitted,
+		Rejected:   st.rejected,
+		Expired:    st.expired,
+	}
+	for _, j := range st.jobs {
+		switch j.State {
+		case JobPending:
+			s.Pending++
+		case JobRunning:
+			s.Running++
+		case JobDone:
+			s.Done++
+		case JobFailed:
+			s.Failed++
+		}
+	}
+	return s
+}

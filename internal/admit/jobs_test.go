@@ -1,0 +1,195 @@
+package admit
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestJobLifecycle(t *testing.T) {
+	st := NewStore(4, time.Minute)
+	defer st.Close()
+
+	id, err := st.Submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := st.Get(id)
+	if !ok || j.State != JobPending || j.Created.IsZero() {
+		t.Fatalf("after submit: %+v ok=%v, want pending with Created set", j, ok)
+	}
+	if !st.Start(id) {
+		t.Fatal("Start: job vanished")
+	}
+	if j, _ = st.Get(id); j.State != JobRunning || j.Started.IsZero() {
+		t.Fatalf("after start: %+v, want running with Started set", j)
+	}
+	if !st.Finish(id, map[string]int{"answer": 42}, nil) {
+		t.Fatal("Finish: job vanished")
+	}
+	j, _ = st.Get(id)
+	if j.State != JobDone || j.Finished.IsZero() || j.Error != "" {
+		t.Fatalf("after finish: %+v, want done", j)
+	}
+	if m, ok := j.Result.(map[string]int); !ok || m["answer"] != 42 {
+		t.Fatalf("result = %#v, want the stored map", j.Result)
+	}
+
+	// Failure path replaces any result with the error text.
+	id2, _ := st.Submit()
+	st.Start(id2)
+	st.Finish(id2, "partial", errors.New("boom"))
+	if j, _ = st.Get(id2); j.State != JobFailed || j.Error != "boom" || j.Result != nil {
+		t.Fatalf("failed job = %+v, want failed/boom/nil result", j)
+	}
+
+	if _, ok = st.Get("nope"); ok {
+		t.Error("Get(unknown) reported a job")
+	}
+
+	s := st.Stats()
+	if s.Submitted != 2 || s.Done != 1 || s.Failed != 1 {
+		t.Errorf("stats = %+v, want submitted 2, done 1, failed 1", s)
+	}
+}
+
+func TestJobStoreCapacityShed(t *testing.T) {
+	st := NewStore(2, time.Hour)
+	defer st.Close()
+
+	if _, err := st.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Submit(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := st.Submit()
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ReasonJobsFull {
+		t.Fatalf("submit at capacity = %v, want ShedError(jobs_full)", err)
+	}
+	if shed.RetryAfter != time.Hour {
+		t.Errorf("RetryAfter = %v, want the store TTL", shed.RetryAfter)
+	}
+	if s := st.Stats(); s.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", s.Rejected)
+	}
+}
+
+func TestJobStoreTTLEviction(t *testing.T) {
+	st := NewStore(2, time.Minute)
+	defer st.Close()
+	clock := time.Now()
+	st.now = func() time.Time { return clock }
+
+	done, _ := st.Submit()
+	st.Start(done)
+	st.Finish(done, "r", nil)
+	stuck, _ := st.Submit() // pending forever: must never be evicted
+
+	// Full store, TTL elapsed for the finished job: Submit's lazy GC
+	// reclaims exactly that slot.
+	clock = clock.Add(2 * time.Minute)
+	id, err := st.Submit()
+	if err != nil {
+		t.Fatalf("submit after TTL = %v, want lazy GC to make room", err)
+	}
+	if _, ok := st.Get(done); ok {
+		t.Error("finished job survived past its TTL")
+	}
+	if _, ok := st.Get(stuck); !ok {
+		t.Error("pending job was evicted; only finished jobs may expire")
+	}
+	if _, ok := st.Get(id); !ok {
+		t.Error("fresh job missing")
+	}
+	if s := st.Stats(); s.Expired != 1 {
+		t.Errorf("expired = %d, want 1", s.Expired)
+	}
+}
+
+func TestJobStoreBackgroundSweep(t *testing.T) {
+	// Short real TTL: the background sweeper (ticking at >= 1s) must evict
+	// without any Submit traffic.
+	st := NewStore(4, 50*time.Millisecond)
+	defer st.Close()
+	id, _ := st.Submit()
+	st.Start(id)
+	st.Finish(id, nil, nil)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := st.Get(id); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background sweeper never evicted an expired job")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestJobIDsUnique(t *testing.T) {
+	st := NewStore(128, time.Minute)
+	defer st.Close()
+	seen := map[string]bool{}
+	for i := 0; i < 128; i++ {
+		id, err := st.Submit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate job id %q", id)
+		}
+		if len(id) != 24 {
+			t.Fatalf("id %q: want 24 hex chars", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestJobStoreCloseIdempotent(t *testing.T) {
+	st := NewStore(1, time.Minute)
+	st.Close()
+	st.Close() // must not panic
+	// Store stays usable after Close (lazy GC still runs on Submit).
+	if _, err := st.Submit(); err != nil {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestJobStoreDefaults(t *testing.T) {
+	st := NewStore(0, 0)
+	defer st.Close()
+	if st.Capacity() != 256 || st.TTL() != 10*time.Minute {
+		t.Errorf("defaults = %d/%v, want 256/10m", st.Capacity(), st.TTL())
+	}
+}
+
+func TestJobStatsStateCounts(t *testing.T) {
+	st := NewStore(16, time.Minute)
+	defer st.Close()
+	mk := func(phase int) {
+		id, _ := st.Submit()
+		if phase >= 1 {
+			st.Start(id)
+		}
+		if phase == 2 {
+			st.Finish(id, nil, nil)
+		}
+		if phase == 3 {
+			st.Start(id)
+			st.Finish(id, nil, fmt.Errorf("x"))
+		}
+	}
+	mk(0)
+	mk(0)
+	mk(1)
+	mk(2)
+	mk(3)
+	s := st.Stats()
+	if s.Pending != 2 || s.Running != 1 || s.Done != 1 || s.Failed != 1 {
+		t.Errorf("state counts = %+v, want 2/1/1/1", s)
+	}
+}

@@ -41,10 +41,13 @@ type Predictor interface {
 // ContextPredictor is an optional Predictor extension: a predictor that
 // threads the request context through, so a request-scoped trace
 // (internal/obs) reaches the batching layer and its queue-wait and
-// predict spans land on the right request. Plain Predictors keep working
-// untraced.
+// predict spans land on the right request — and so cancellation
+// propagates: a predictor may return ctx.Err() instead of a value when
+// the caller gave up, letting an advise grid abort mid-fan-out rather
+// than evaluate work nobody is waiting for. Plain Predictors keep
+// working untraced and uncancellable.
 type ContextPredictor interface {
-	PredictCtx(context.Context, *gnn.Sample) float64
+	PredictCtx(context.Context, *gnn.Sample) (float64, error)
 }
 
 // EncodeCache memoizes the parse→BuildKernel→Encode pipeline across Advise
@@ -250,7 +253,11 @@ func (a *Advisor) PredictInstanceUSCtx(ctx context.Context, in variants.Instance
 		return 0, err
 	}
 	if cp, ok := a.model.(ContextPredictor); ok {
-		return a.prep.DescaleUS(cp.PredictCtx(ctx, s)), nil
+		v, err := cp.PredictCtx(ctx, s)
+		if err != nil {
+			return 0, err
+		}
+		return a.prep.DescaleUS(v), nil
 	}
 	return a.prep.DescaleUS(a.model.Predict(s)), nil
 }

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"paragraph/internal/admit"
+	"paragraph/internal/advisor"
+	"paragraph/internal/apps"
+	"paragraph/internal/variants"
+)
+
+// This file is the glue between internal/admit (pure policy) and the HTTP
+// layer: client identity, deadline extraction, evaluation-cost estimation
+// from the batcher's live latency histograms, and the single place a
+// ShedError becomes a 503 with a Retry-After header.
+
+// clientKey identifies the requester for fair queueing: the
+// X-Paragraph-Client header when present, else the remote host (port
+// stripped, so one busy client cannot widen its share by opening
+// connections), else a shared bucket.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get(admit.ClientHeader); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil && host != "" {
+		return host
+	}
+	if r.RemoteAddr != "" {
+		return r.RemoteAddr
+	}
+	return "unknown"
+}
+
+// requestContext derives the request's evaluation context: the base
+// context plus, when the X-Paragraph-Deadline header is present, a
+// deadline that bounds the whole evaluation (queue wait included). The
+// returned cancel must always be called. A malformed header is a client
+// error, reported before any work starts.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	h := r.Header.Get(admit.DeadlineHeader)
+	if h == "" {
+		return r.Context(), func() {}, nil
+	}
+	d, err := admit.ParseDeadline(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// evalUnit is the live per-evaluation cost estimate for one model: the
+// median per-prediction latency through its batcher. Zero until the model
+// has served traffic — a cold server never sheds on a guess.
+func evalUnit(ms *modelState) time.Duration {
+	return time.Duration(ms.batcher.latency.Quantile(0.5) * float64(time.Second))
+}
+
+// adviseGridPoints counts the predictions one advise request will fan
+// out, mirroring AdviseCtx's enumeration (machine-compatible variant
+// kinds × the search space) without generating anything.
+func adviseGridPoints(be *backendState, k apps.Kernel, space advisor.SearchSpace) int {
+	points := 0
+	for _, kind := range variants.Kinds() {
+		if kind.IsGPU() != be.machine.IsGPU {
+			continue
+		}
+		if kind.IsCollapse() && !k.Collapsible {
+			continue
+		}
+		if kind.IsGPU() {
+			points += len(space.GPUTeams) * len(space.GPUThreads)
+		} else {
+			points += len(space.CPUThreads)
+		}
+	}
+	return points
+}
+
+// adviseCost estimates one advise evaluation end to end: grid points
+// spread over the advisor's workers, each wave costing the model's live
+// per-prediction unit.
+func (s *Server) adviseCost(be *backendState, ms *modelState, k apps.Kernel, space advisor.SearchSpace) time.Duration {
+	unit := evalUnit(ms)
+	if unit <= 0 {
+		return 0
+	}
+	points := adviseGridPoints(be, k, space)
+	workers := s.opts.GridWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	waves := (points + workers - 1) / workers
+	if waves < 1 {
+		waves = 1
+	}
+	return time.Duration(waves) * unit
+}
+
+// shedCheck decides up front whether a deadline-carrying request should
+// be rejected: the admission backlog (queued waiters plus evaluations in
+// flight ahead of it), drained cost-sized waves at a time, must fit the
+// request's remaining budget. Requests without a deadline never shed
+// here — they queue like before. Returns nil to admit.
+func (s *Server) shedCheck(ctx context.Context, cost time.Duration) *admit.ShedError {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	st := s.admit.Stats()
+	drain := admit.EstimateDrain(st.Queued+st.Running, st.Concurrency, cost)
+	return admit.CheckDeadline(time.Until(dl), drain)
+}
+
+// asShed extracts a ShedError, translating context expiry — the deadline
+// fired while queued or mid-evaluation — into ReasonExpired so callers
+// get one uniform 503 + Retry-After surface and zero requests hang past
+// their deadline.
+func asShed(err error) (*admit.ShedError, bool) {
+	var shed *admit.ShedError
+	if errors.As(err, &shed) {
+		return shed, true
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return &admit.ShedError{Reason: admit.ReasonExpired}, true
+	}
+	return nil, false
+}
+
+// writeShed maps a ShedError to 503 Service Unavailable with a
+// Retry-After header and counts it under serve_shed_total{reason}. A
+// shed with no back-off estimate gets the queue's own drain guess so the
+// header is never absent.
+func (s *Server) writeShed(w http.ResponseWriter, shed *admit.ShedError, cost time.Duration) {
+	retry := shed.RetryAfter
+	if retry <= 0 {
+		st := s.admit.Stats()
+		retry = admit.EstimateDrain(st.Queued+st.Running, st.Concurrency, cost)
+	}
+	secs := admit.RetryAfterSeconds(retry)
+	if c, ok := s.metrics.shed[shed.Reason]; ok {
+		c.Inc()
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.fail(w, http.StatusServiceUnavailable, "overloaded: %s (retry after %ds)", shed.Reason, secs)
+}
+
+// remainingBudget reports how much of ctx's deadline is left; zero when
+// ctx has none. Forwards propagate it so a peer applies the same budget.
+func remainingBudget(ctx context.Context) time.Duration {
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			return rem
+		}
+		return time.Nanosecond // expired; the peer will shed it honestly
+	}
+	return 0
+}
+
+// admitRun wraps an evaluation in the fair queue and the eval pool: the
+// queue grants slots per-client fair (its concurrency equals the pool
+// size, so the pool itself never queues and its stats stay meaningful),
+// the pool keeps its oversubscription accounting.
+func (s *Server) admitRun(ctx context.Context, client string, fn func() error) error {
+	return s.admit.Run(ctx, client, func() error {
+		return s.pool.Run(fn)
+	})
+}

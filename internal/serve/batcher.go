@@ -49,12 +49,14 @@ type Batcher struct {
 	maxSeen    int
 	sumBatched uint64 // total samples that shared a batch with at least one other
 
-	latency *obs.Histogram // per-Predict latency (enqueue → result), seconds
-	sizes   *obs.Histogram // samples per evaluated batch
-	queued  atomic.Int64   // requests enqueued but not yet in a model evaluation
+	latency   *obs.Histogram // per-Predict latency (enqueue → result), seconds
+	sizes     *obs.Histogram // samples per evaluated batch
+	queued    atomic.Int64   // requests enqueued but not yet in a model evaluation
+	cancelled atomic.Uint64  // PredictCtx calls abandoned by their context
 }
 
 type batchRequest struct {
+	ctx context.Context // caller's context; flush skips dead requests
 	s   *gnn.Sample
 	out chan float64
 	tr  *obs.Trace // originating request's trace; nil = untraced
@@ -91,23 +93,47 @@ func NewBatcher(model BatchPredictor, maxBatch int, maxWait time.Duration) *Batc
 // included — it is what callers experience) feeds the model's latency
 // histogram, surfaced per model in /v1/stats and /metrics.
 func (b *Batcher) Predict(s *gnn.Sample) float64 {
-	return b.PredictCtx(context.Background(), s)
+	// Background context: never cancelled, so the error path is dead.
+	v, _ := b.PredictCtx(context.Background(), s)
+	return v
 }
 
 // PredictCtx is Predict with a request context (the batcher implements
 // advisor.ContextPredictor). A trace attached to ctx receives queue_wait
 // and predict spans for this sample; an untraced context adds no work to
 // the fast path.
-func (b *Batcher) PredictCtx(ctx context.Context, s *gnn.Sample) float64 {
+//
+// A context that ends returns ctx.Err() immediately — before enqueueing,
+// while blocked on a busy collector, or while waiting for the batch to
+// evaluate. A request abandoned after enqueue is not orphaned work: flush
+// drops dead-context requests from the batch before the model runs, and
+// the buffered result channel means a flush racing the abandonment leaks
+// nothing.
+func (b *Batcher) PredictCtx(ctx context.Context, s *gnn.Sample) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		b.cancelled.Add(1)
+		return 0, err
+	}
 	tr := obs.TraceFrom(ctx)
 	start := time.Now()
 	out := make(chan float64, 1)
 	b.queued.Add(1)
 	select {
-	case b.reqs <- batchRequest{s: s, out: out, tr: tr, enq: start}:
-		v := <-out
-		b.latency.Observe(time.Since(start).Seconds())
-		return v
+	case b.reqs <- batchRequest{ctx: ctx, s: s, out: out, tr: tr, enq: start}:
+		select {
+		case v := <-out:
+			b.latency.Observe(time.Since(start).Seconds())
+			return v, nil
+		case <-ctx.Done():
+			// The request is in the collector's hands; flush sees the dead
+			// context and skips it. queued is reconciled there, not here.
+			b.cancelled.Add(1)
+			return 0, ctx.Err()
+		}
+	case <-ctx.Done():
+		b.queued.Add(-1)
+		b.cancelled.Add(1)
+		return 0, ctx.Err()
 	case <-b.quit:
 		b.queued.Add(-1)
 		pstart := time.Now()
@@ -115,7 +141,7 @@ func (b *Batcher) PredictCtx(ctx context.Context, s *gnn.Sample) float64 {
 		tr.AddSpan("queue_wait", "", start, pstart.Sub(start))
 		tr.AddSpan("predict", "direct", pstart, time.Since(pstart))
 		b.latency.Observe(time.Since(start).Seconds())
-		return v
+		return v, nil
 	}
 }
 
@@ -172,6 +198,21 @@ func (b *Batcher) collect() {
 // flush evaluates one batch and fans results back to the waiters.
 func (b *Batcher) flush(batch []batchRequest) {
 	b.queued.Add(-int64(len(batch)))
+	// Drop requests whose caller already gave up: cancellation aborts work
+	// sitting in the queue, not just the wait for it. No send on their out
+	// channels — the waiters are gone, and the buffer makes the skip safe
+	// even if one is mid-race on its ctx.Done select.
+	live := batch[:0]
+	for _, r := range batch {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			continue
+		}
+		live = append(live, r)
+	}
+	batch = live
+	if len(batch) == 0 {
+		return
+	}
 	samples := make([]*gnn.Sample, len(batch))
 	for i, r := range batch {
 		samples[i] = r.s
@@ -224,14 +265,15 @@ type BatcherStats struct {
 	Samples        uint64       `json:"samples"`
 	MaxBatch       int          `json:"max_batch"`
 	MeanBatch      float64      `json:"mean_batch"`
-	CoalescedShare float64      `json:"coalesced_share"` // fraction of samples that shared a batch
+	CoalescedShare float64      `json:"coalesced_share"`     // fraction of samples that shared a batch
+	Cancelled      uint64       `json:"cancelled,omitempty"` // predictions abandoned by their context
 	Latency        LatencyStats `json:"latency"`
 }
 
 // Stats returns a snapshot of the batcher counters.
 func (b *Batcher) Stats() BatcherStats {
 	b.mu.Lock()
-	st := BatcherStats{Batches: b.batches, Samples: b.samples, MaxBatch: b.maxSeen}
+	st := BatcherStats{Batches: b.batches, Samples: b.samples, MaxBatch: b.maxSeen, Cancelled: b.cancelled.Load()}
 	if b.batches > 0 {
 		st.MeanBatch = float64(b.samples) / float64(b.batches)
 	}

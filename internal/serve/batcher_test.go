@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -169,5 +172,143 @@ func TestBatcherEmptyLatencyStats(t *testing.T) {
 	defer b.Close()
 	if lat := b.Stats().Latency; lat.Count != 0 || lat.P50MS != 0 || lat.P99MS != 0 {
 		t.Errorf("latency stats before any prediction = %+v", lat)
+	}
+}
+
+// blockingModel parks every PredictBatch call until released, counting the
+// samples it was actually asked to evaluate.
+type blockingModel struct {
+	release chan struct{}
+	mu      sync.Mutex
+	seen    int
+}
+
+func (m *blockingModel) PredictBatch(ss []*gnn.Sample) []float64 {
+	<-m.release
+	m.mu.Lock()
+	m.seen += len(ss)
+	m.mu.Unlock()
+	return make([]float64, len(ss))
+}
+
+func (m *blockingModel) seenSamples() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seen
+}
+
+func TestBatcherPredictCtxAlreadyCancelled(t *testing.T) {
+	// Regression: Predict used to block until its batch evaluated even when
+	// the caller's context was already dead. Now it must return immediately,
+	// without ever touching the model.
+	model := &echoModel{}
+	b := NewBatcher(model, 4, time.Hour) // window would block for an hour
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.PredictCtx(ctx, &gnn.Sample{Feats: [2]float64{1, 0}})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("PredictCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PredictCtx blocked on a cancelled context")
+	}
+	if model.callCount() != 0 {
+		t.Error("cancelled request reached the model")
+	}
+	if c := b.Stats().Cancelled; c != 1 {
+		t.Errorf("cancelled counter = %d, want 1", c)
+	}
+}
+
+func TestBatcherCancelDuringQueueWaitAbortsWork(t *testing.T) {
+	// A request sitting in an open batch window whose caller gives up must
+	// (a) unblock the caller immediately and (b) be dropped from the batch
+	// before the model runs — cancellation aborts queued work, not just the
+	// wait for it.
+	model := &blockingModel{release: make(chan struct{})}
+	// maxBatch 2: the live request below fills the batch and forces the
+	// flush; the window alone would hold it open past the test's life.
+	b := NewBatcher(model, 2, 30*time.Minute)
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.PredictCtx(ctx, &gnn.Sample{Feats: [2]float64{1, 0}})
+		errc <- err
+	}()
+	// Wait for the request to reach the collector's open batch.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.queued.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("PredictCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("PredictCtx still blocked after cancel: ctx not honored during queue wait")
+	}
+	// A live request fills the batch, forcing the flush; the cancelled one
+	// must be filtered out of it before the model runs.
+	live := make(chan float64, 1)
+	go func() {
+		v, err := b.PredictCtx(context.Background(), &gnn.Sample{Feats: [2]float64{2, 0}})
+		if err != nil {
+			t.Errorf("live request failed: %v", err)
+		}
+		live <- v
+	}()
+	close(model.release) // let evaluations proceed from here on
+	select {
+	case <-live:
+	case <-time.After(10 * time.Second):
+		t.Fatal("live request starved after a cancellation in the same window")
+	}
+	if n := model.seenSamples(); n != 1 {
+		t.Errorf("model evaluated %d samples, want only the live one", n)
+	}
+}
+
+func TestBatcherCancelLeaksNoGoroutines(t *testing.T) {
+	// After a storm of cancelled predictions drains, no collector-side or
+	// caller-side goroutines may linger (run under -race in CI).
+	model := &echoModel{delay: time.Millisecond}
+	b := NewBatcher(model, 4, time.Millisecond)
+
+	before := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%5)*100*time.Microsecond)
+			defer cancel()
+			_, _ = b.PredictCtx(ctx, &gnn.Sample{Feats: [2]float64{float64(i), 0}})
+		}(i)
+	}
+	wg.Wait()
+	b.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before+2 {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutines: %d before, %d after cancellation storm\n%s",
+			before, now, buf[:runtime.Stack(buf, true)])
+	}
+	if b.queued.Load() != 0 {
+		t.Errorf("queued gauge = %d after drain, want 0", b.queued.Load())
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -153,23 +154,29 @@ func (s *Server) noteForwarded(r *http.Request) {
 	}
 }
 
+// isForwarded reports whether r already carries the loop-guard header (it
+// was forwarded here by a peer and must be served locally).
+func (s *Server) isForwarded(r *http.Request) bool {
+	return r.Header.Get(shard.ForwardedByHeader) != ""
+}
+
 // route decides where a request with the given content-addressed key is
 // served. targets is the ordered list of peers to try — the key's primary
 // owner first, then its replicas in successor order, self excluded; empty
 // targets means serve locally without trying anyone, because cluster mode
 // is off, the request already carries the loop-guard header (that is what
-// breaks forwarding cycles when two peers' rings disagree), or this
-// process is the key's primary owner. owners is the key's full owner list
-// (nil at rf=1, when no write-through can happen) and owned reports
-// whether this process is on it: an owned miss that ends up evaluated
-// locally is written through to the other owners afterwards (replicate,
-// which reuses the list rather than re-walking the ring).
-func (s *Server) route(r *http.Request, key string) (targets, owners []string, owned bool) {
+// breaks forwarding cycles when two peers' rings disagree — forwarded
+// reports it), or this process is the key's primary owner. owners is the
+// key's full owner list (nil at rf=1, when no write-through can happen)
+// and owned reports whether this process is on it: an owned miss that
+// ends up evaluated locally is written through to the other owners
+// afterwards (replicate, which reuses the list rather than re-walking the
+// ring).
+func (s *Server) route(forwarded bool, key string) (targets, owners []string, owned bool) {
 	c := s.cluster
 	if c == nil {
 		return nil, nil, false
 	}
-	forwarded := r.Header.Get(shard.ForwardedByHeader) != ""
 	if c.rf == 1 {
 		// Single-owner fast path: no successor list to build (Owner is an
 		// allocation-free binary search), and with no replicas owned only
@@ -221,15 +228,18 @@ type proxiedResponse struct {
 // successor. A target's HTTP errors are authoritative answers and come
 // back ok=true, relayed not retried. The hop is recorded as a "forward"
 // span on tr, annotated with the answering peer (or "unreachable"), and
-// carries tr's id so the answering peer's trace joins this request's.
-func (s *Server) tryForward(tr *obs.Trace, targets []string, path string, req any) (proxiedResponse, bool) {
+// carries tr's id so the answering peer's trace joins this request's, and
+// ctx's remaining deadline budget so the peer sheds by the same clock the
+// origin would.
+func (s *Server) tryForward(ctx context.Context, tr *obs.Trace, targets []string, path string, req any) (proxiedResponse, bool) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return proxiedResponse{}, false
 	}
+	meta := shard.Meta{TraceID: tr.ID(), Deadline: remainingBudget(ctx)}
 	sp := tr.StartSpan("forward")
 	for i, t := range targets {
-		status, respBody, err := s.cluster.fwd.Forward(t, path, body, tr.ID())
+		status, respBody, err := s.cluster.fwd.Forward(ctx, t, path, body, meta)
 		if err != nil {
 			continue
 		}

@@ -5,16 +5,17 @@ import (
 	"sync"
 	"time"
 
+	"paragraph/internal/admit"
 	"paragraph/internal/obs"
 )
 
 // serveEndpoints are the per-endpoint metric label values, one per mux
-// route. /v1/stats reads the first seven back for its requests section;
+// route. /v1/stats reads the first eight back for its requests section;
 // metrics and trace exist only in the exposition (adding them to the
 // stats JSON would break its byte-compatibility contract).
 var serveEndpoints = []string{
 	"advise", "predict", "healthz", "stats", "models", "ring", "replicate",
-	"metrics", "trace",
+	"jobs", "metrics", "trace",
 }
 
 // endpointInstruments are one endpoint's request counter and latency
@@ -36,6 +37,11 @@ type serveMetrics struct {
 	adviseHits *obs.Counter
 	coalesced  *obs.Counter
 
+	// shed counts admission rejections by reason (serve_shed_total).
+	// Pre-registered for every reason so the series exist at zero —
+	// operators alert on rate() over them, which needs a baseline.
+	shed map[admit.Reason]*obs.Counter
+
 	mu     sync.Mutex
 	errors map[string]*obs.Counter // endpoint "\x00" status class
 }
@@ -47,7 +53,13 @@ func newServeMetrics(s *Server) *serveMetrics {
 	m := &serveMetrics{
 		reg:       obs.NewRegistry(),
 		endpoints: map[string]*endpointInstruments{},
+		shed:      map[admit.Reason]*obs.Counter{},
 		errors:    map[string]*obs.Counter{},
+	}
+	for _, reason := range admit.Reasons() {
+		m.shed[reason] = m.reg.Counter("serve_shed_total",
+			"Requests rejected by admission control, by reason.",
+			obs.L("reason", string(reason)))
 	}
 	for _, ep := range serveEndpoints {
 		m.endpoints[ep] = &endpointInstruments{
@@ -87,6 +99,55 @@ func newServeMetrics(s *Server) *serveMetrics {
 	m.reg.CounterFunc("serve_pool_evaluations_total", "Evaluations the pool has run.", nil,
 		func() float64 { return float64(s.pool.total.Load()) })
 
+	// Admission fair queue: aggregate depth and per-client lanes. Lanes
+	// come and go with traffic, so the per-client series are discovered at
+	// scrape time (CollectFunc) rather than pre-registered.
+	m.reg.GaugeFunc("serve_admit_queued", "Requests waiting in the admission fair queue.", nil,
+		func() float64 { return float64(s.admit.Stats().Queued) })
+	m.reg.GaugeFunc("serve_admit_running", "Admitted evaluations currently holding a slot.", nil,
+		func() float64 { return float64(s.admit.Stats().Running) })
+	m.reg.GaugeFunc("serve_admit_lanes", "Per-client lanes currently tracked by the fair queue.", nil,
+		func() float64 { return float64(s.admit.Stats().Lanes) })
+	m.reg.CounterFunc("serve_admit_admitted_total", "Requests granted an evaluation slot.", nil,
+		func() float64 { return float64(s.admit.Stats().Admitted) })
+	m.reg.CollectFunc("serve_admit_lane_depth",
+		"Requests queued per client lane.", "gauge",
+		func(emit func(obs.Labels, float64)) {
+			for _, l := range s.admit.Stats().LaneStats {
+				emit(obs.L("client", l.Client), float64(l.Queued))
+			}
+		})
+	m.reg.CollectFunc("serve_admit_client_admitted_total",
+		"Requests admitted, by client.", "counter",
+		func(emit func(obs.Labels, float64)) {
+			for _, c := range s.admit.Stats().Clients {
+				emit(obs.L("client", c.Client), float64(c.Admitted))
+			}
+		})
+	m.reg.CollectFunc("serve_admit_client_shed_total",
+		"Requests shed at the fair queue, by client.", "counter",
+		func(emit func(obs.Labels, float64)) {
+			for _, c := range s.admit.Stats().Clients {
+				emit(obs.L("client", c.Client), float64(c.Shed))
+			}
+		})
+
+	// Async job store.
+	m.reg.CollectFunc("serve_jobs", "Async jobs resident in the store, by state.", "gauge",
+		func(emit func(obs.Labels, float64)) {
+			st := s.jobs.Stats()
+			emit(obs.L("state", "pending"), float64(st.Pending))
+			emit(obs.L("state", "running"), float64(st.Running))
+			emit(obs.L("state", "done"), float64(st.Done))
+			emit(obs.L("state", "failed"), float64(st.Failed))
+		})
+	m.reg.CounterFunc("serve_jobs_submitted_total", "Async jobs accepted.", nil,
+		func() float64 { return float64(s.jobs.Stats().Submitted) })
+	m.reg.CounterFunc("serve_jobs_rejected_total", "Async jobs rejected (store at capacity).", nil,
+		func() float64 { return float64(s.jobs.Stats().Rejected) })
+	m.reg.CounterFunc("serve_jobs_expired_total", "Finished async jobs reclaimed by TTL.", nil,
+		func() float64 { return float64(s.jobs.Stats().Expired) })
+
 	for machine, be := range s.backends {
 		for name, ms := range be.models {
 			ms, labels := ms, obs.L("platform", machine, "model", name)
@@ -101,6 +162,9 @@ func newServeMetrics(s *Server) *serveMetrics {
 			m.reg.CounterFunc("serve_batcher_batches_total",
 				"Batches evaluated, by model.", labels,
 				func() float64 { return float64(ms.batcher.Stats().Batches) })
+			m.reg.CounterFunc("serve_batcher_cancelled_total",
+				"Predictions abandoned by their context before evaluation, by model.", labels,
+				func() float64 { return float64(ms.batcher.cancelled.Load()) })
 			m.reg.CounterFunc("serve_model_advise_total",
 				"Advise responses computed or served, by model.", labels,
 				func() float64 { return float64(ms.advise.Load()) })

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -9,9 +10,11 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"paragraph/internal/admit"
 	"paragraph/internal/advisor"
 	"paragraph/internal/apps"
 	"paragraph/internal/dataset"
@@ -64,6 +67,20 @@ type Options struct {
 	BatchWait       time.Duration // batcher: batch window (default 2ms)
 	PoolSize        int           // max advise/predict evaluations in flight (default GOMAXPROCS)
 	GridWorkers     int           // per-advise grid fan-out (default GOMAXPROCS)
+
+	// QueueLimit bounds the total requests waiting for an evaluation slot
+	// across all clients; arrivals beyond it are shed with 503 queue_full
+	// (default 1024).
+	QueueLimit int
+	// QueuePerClient bounds one client's waiting requests; beyond it that
+	// client sheds 503 lane_full while others keep queueing (default 256).
+	QueuePerClient int
+	// JobLimit bounds the async job store; submissions beyond it are shed
+	// with 503 jobs_full (default 256).
+	JobLimit int
+	// JobTTL is how long finished async jobs stay fetchable before GC
+	// (default 10m).
+	JobTTL time.Duration
 
 	// TraceSlow is the latency at or above which a traced request is
 	// logged as a structured slow-request record (default 250ms; negative
@@ -138,6 +155,15 @@ type Server struct {
 	pool        *Pool
 	flights     flightGroup // collapses identical concurrent cache misses
 
+	// admit fronts the eval pool with per-client fair queueing and bounded
+	// backlogs; jobs backs the async advise path. jobsCtx is the lifetime
+	// of async evaluations (cancelled in Close, then jobsWG drained).
+	admit      *admit.Queue
+	jobs       *admit.Store
+	jobsCtx    context.Context
+	jobsCancel context.CancelFunc
+	jobsWG     sync.WaitGroup
+
 	metrics *serveMetrics // every /metrics series; /v1/stats reads the same instruments
 	tracer  *obs.Tracer   // request traces: slow logging + the /v1/trace ring
 	logger  *slog.Logger
@@ -175,7 +201,17 @@ func NewServer(backends []Backend, opts Options) (*Server, error) {
 		adviseCache: NewCache(opts.AdviseCacheSize),
 		encodeCache: NewCache(opts.EncodeCacheSize),
 		pool:        NewPool(opts.PoolSize),
+		// The fair queue's concurrency equals the pool size, so the pool
+		// itself never develops a FIFO backlog: ordering policy lives in
+		// the queue, capacity accounting in the pool.
+		admit: admit.NewQueue(admit.QueueConfig{
+			Concurrency:  opts.PoolSize,
+			MaxQueued:    opts.QueueLimit,
+			MaxPerClient: opts.QueuePerClient,
+		}),
+		jobs: admit.NewStore(opts.JobLimit, opts.JobTTL),
 	}
+	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
 	for _, b := range backends {
 		if b.Model == nil || b.Prep == nil {
 			return nil, fmt.Errorf("serve: backend %q missing model or prepared dataset", b.Machine.Name)
@@ -254,6 +290,7 @@ func NewServer(backends []Backend, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/ring", s.instrument("ring", false, s.handleRing))
 	s.mux.HandleFunc("/v1/replicate", s.instrument("replicate", true, s.handleReplicate))
 	s.mux.HandleFunc("/v1/trace", s.instrument("trace", false, s.handleTrace))
+	s.mux.HandleFunc("/v1/jobs/", s.instrument("jobs", false, s.handleJobs))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", false, s.handleMetrics))
 	return s, nil
 }
@@ -271,9 +308,14 @@ func (be *backendState) modelNames() []string {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the per-model batchers after draining in-flight batches and,
-// in cluster mode, the forwarder's async replication workers.
+// Close stops the async-job workers (cancelling their evaluations and
+// waiting them out), the job store's sweeper, the per-model batchers
+// (after draining in-flight batches) and, in cluster mode, the
+// forwarder's async replication workers.
 func (s *Server) Close() {
+	s.jobsCancel()
+	s.jobsWG.Wait()
+	s.jobs.Close()
 	for _, be := range s.backends {
 		for _, ms := range be.models {
 			ms.batcher.Close()
@@ -549,11 +591,69 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	key := Key("advise", be.machine.Name, ms.name, kernelKey(k), advisor.BindingsKey(req.Bindings),
 		fmtInts(space.CPUThreads), fmtInts(space.GPUTeams), fmtInts(space.GPUThreads))
 
+	p := adviseParams{
+		req: req, be: be, ms: ms, k: k, space: space, key: key,
+		client:    clientKey(r),
+		forwarded: s.isForwarded(r),
+	}
+
+	if async := r.URL.Query().Get("async"); async == "1" || async == "true" {
+		s.startAdviseJob(w, r, p)
+		return
+	}
+
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+
 	startReq := time.Now()
-	var recs []advisor.Recommendation
-	cached, coalesced := false, false
+	recs, pr, cached, coalesced, err := s.adviseRecs(ctx, tr, p)
+	if err != nil {
+		if shed, ok := asShed(err); ok {
+			s.writeShed(w, shed, s.adviseCost(be, ms, k, space))
+			return
+		}
+		s.fail(w, http.StatusUnprocessableEntity, "advise %s on %s/%s: %v", k.Name, be.machine.Name, ms.name, err)
+		return
+	}
+	if coalesced {
+		s.metrics.coalesced.Inc()
+	}
+	if pr != nil {
+		s.writeProxied(w, *pr)
+		return
+	}
+	ms.advise.Add(1)
+	ms.touch()
+	resp := s.renderAdvise(p, recs, cached, coalesced)
+	resp.ElapsedMS = float64(time.Since(startReq).Microseconds()) / 1000
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// adviseParams is one advise evaluation's resolved inputs, shared by the
+// synchronous handler and the async job path.
+type adviseParams struct {
+	req       AdviseRequest
+	be        *backendState
+	ms        *modelState
+	k         apps.Kernel
+	space     advisor.SearchSpace
+	key       string
+	client    string
+	forwarded bool
+}
+
+// adviseRecs serves one advise evaluation: response cache, then the
+// deadline shed check, then forward-or-evaluate inside the singleflight
+// with the evaluation admitted through the per-client fair queue. Exactly
+// one of recs and pr is set on success. Cache hits are never shed — they
+// cost microseconds and always beat any deadline.
+func (s *Server) adviseRecs(ctx context.Context, tr *obs.Trace, p adviseParams) (recs []advisor.Recommendation, pr *proxiedResponse, cached, coalesced bool, err error) {
 	lookup := tr.StartSpan("cache_lookup")
-	v, hit := s.adviseCache.Get(key)
+	v, hit := s.adviseCache.Get(p.key)
 	lookup.End()
 	if hit {
 		// A local hit is served locally even if a peer owns the key: the
@@ -564,85 +664,88 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		// cannot tell advise from predict values) as a miss to recompute
 		// and overwrite, never a value to trust.
 		if r2, ok := v.([]advisor.Recommendation); ok {
-			recs = r2
-			cached = true
 			s.metrics.adviseHits.Inc()
+			return r2, nil, true, false, nil
 		}
 	}
-	if !cached {
-		// The miss may belong to a peer: in cluster mode it is forwarded to
-		// the key's owners in successor order — primary first, replicas when
-		// the primary is unreachable — so the owner's cache and singleflight
-		// absorb all traffic for the key; with every owner unreachable it
-		// falls back to local evaluation — degraded (a duplicate
-		// evaluation), never failing. An owner evaluating the miss itself
-		// writes the entry through to the key's replicas (fire-and-forget),
-		// so one peer death loses no warmth. Forward-or-evaluate runs inside
-		// the singleflight so a burst of identical misses at a non-owner
-		// shares one proxied hop instead of each holding a connection to the
-		// owner. Top and IncludeSource are not in the cache key (a cached
-		// ranking serves any rendering), but a proxied response is already
-		// rendered, so they join the flight key — requests differing only in
-		// rendering must not share proxied bytes.
-		targets, owners, owned := s.route(r, key)
-		flightKey := fmt.Sprintf("%s|t%d_s%v", key, req.Top, req.IncludeSource)
-		flightStart := time.Now()
-		v, shared, err := s.flights.Do(flightKey, func() (any, error) {
-			if len(targets) > 0 {
-				if pr, ok := s.tryForward(tr, targets, "/v1/advise", req); ok {
-					return pr, nil
-				}
+	// Deadline-aware shedding: a request that predictably cannot finish
+	// inside its budget is rejected before it holds anything — each caller
+	// applies its own deadline even when it would coalesce into a flight.
+	if shed := s.shedCheck(ctx, s.adviseCost(p.be, p.ms, p.k, p.space)); shed != nil {
+		return nil, nil, false, false, shed
+	}
+	// The miss may belong to a peer: in cluster mode it is forwarded to
+	// the key's owners in successor order — primary first, replicas when
+	// the primary is unreachable — so the owner's cache and singleflight
+	// absorb all traffic for the key; with every owner unreachable it
+	// falls back to local evaluation — degraded (a duplicate
+	// evaluation), never failing. An owner evaluating the miss itself
+	// writes the entry through to the key's replicas (fire-and-forget),
+	// so one peer death loses no warmth. Forward-or-evaluate runs inside
+	// the singleflight so a burst of identical misses at a non-owner
+	// shares one proxied hop instead of each holding a connection to the
+	// owner. Top and IncludeSource are not in the cache key (a cached
+	// ranking serves any rendering), but a proxied response is already
+	// rendered, so they join the flight key — requests differing only in
+	// rendering must not share proxied bytes.
+	targets, owners, owned := s.route(p.forwarded, p.key)
+	flightKey := fmt.Sprintf("%s|t%d_s%v", p.key, p.req.Top, p.req.IncludeSource)
+	flightStart := time.Now()
+	v, shared, err := s.flights.Do(flightKey, func() (any, error) {
+		if len(targets) > 0 {
+			if fr, ok := s.tryForward(ctx, tr, targets, "/v1/advise", p.req); ok {
+				return fr, nil
 			}
-			poolWait := tr.StartSpan("pool_wait")
-			var out []advisor.Recommendation
-			err := s.pool.Run(func() error {
-				poolWait.End()
-				var err error
-				out, err = ms.advisor.AdviseCtx(r.Context(), k, req.Bindings, space)
-				return err
-			})
-			if err != nil {
-				return nil, err
-			}
-			if err := checkFinite(out); err != nil {
-				return nil, err
-			}
-			s.adviseCache.Add(key, out)
-			s.replicate(key, out, owners, owned, tr.ID())
-			return out, nil
+		}
+		poolWait := tr.StartSpan("pool_wait")
+		var out []advisor.Recommendation
+		err := s.admitRun(ctx, p.client, func() error {
+			poolWait.End()
+			var err error
+			out, err = p.ms.advisor.AdviseCtx(ctx, p.k, p.req.Bindings, p.space)
+			return err
 		})
 		if err != nil {
-			s.fail(w, http.StatusUnprocessableEntity, "advise %s on %s/%s: %v", k.Name, be.machine.Name, ms.name, err)
-			return
+			return nil, err
 		}
-		if shared {
-			coalesced = true
-			s.metrics.coalesced.Inc()
-			// Recorded retroactively: a waiter only learns it waited — and
-			// for how long — once the leader's flight lands.
-			tr.AddSpan("singleflight_wait", "", flightStart, time.Since(flightStart))
+		if err := checkFinite(out); err != nil {
+			return nil, err
 		}
-		if pr, ok := v.(proxiedResponse); ok {
-			s.writeProxied(w, pr)
-			return
-		}
-		recs = v.([]advisor.Recommendation)
+		s.adviseCache.Add(p.key, out)
+		s.replicate(p.key, out, owners, owned, tr.ID())
+		return out, nil
+	})
+	if err != nil {
+		return nil, nil, false, false, err
 	}
+	if shared {
+		coalesced = true
+		// Recorded retroactively: a waiter only learns it waited — and
+		// for how long — once the leader's flight lands.
+		tr.AddSpan("singleflight_wait", "", flightStart, time.Since(flightStart))
+	}
+	if fr, ok := v.(proxiedResponse); ok {
+		return nil, &fr, false, coalesced, nil
+	}
+	return v.([]advisor.Recommendation), nil, false, coalesced, nil
+}
 
-	ms.advise.Add(1)
-	ms.touch()
+// renderAdvise shapes the ranked grid into the response envelope,
+// applying the request's Top truncation and IncludeSource rendering.
+// ElapsedMS is the caller's to fill (the sync path measures the request,
+// the async path the evaluation).
+func (s *Server) renderAdvise(p adviseParams, recs []advisor.Recommendation, cached, coalesced bool) AdviseResponse {
 	resp := AdviseResponse{
-		Machine:   be.machine.Name,
-		Model:     ms.name,
-		Kernel:    k.Name,
+		Machine:   p.be.machine.Name,
+		Model:     p.ms.name,
+		Kernel:    p.k.Name,
 		Cached:    cached,
 		Coalesced: coalesced,
 		ServedBy:  s.servedBy(),
-		ElapsedMS: float64(time.Since(startReq).Microseconds()) / 1000,
 	}
 	n := len(recs)
-	if req.Top > 0 && req.Top < n {
-		n = req.Top
+	if p.req.Top > 0 && p.req.Top < n {
+		n = p.req.Top
 	}
 	for _, rec := range recs[:n] {
 		out := Recommendation{
@@ -651,12 +754,12 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 			Threads:     rec.Threads,
 			PredictedUS: rec.PredictedUS,
 		}
-		if req.IncludeSource {
+		if p.req.IncludeSource {
 			out.Source = rec.Source
 		}
 		resp.Recommendations = append(resp.Recommendations, out)
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // checkFinite rejects rankings carrying non-finite predictions — the
@@ -720,6 +823,12 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "threads must be positive")
 		return
 	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
 
 	key := Key("predict", be.machine.Name, ms.name, kernelKey(k), req.Variant,
 		fmt.Sprintf("g%d_t%d", req.Teams, req.Threads), advisor.BindingsKey(req.Bindings))
@@ -742,6 +851,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Deadline-aware shedding before any work is held: one prediction
+	// costs one batcher unit, and a backlog that cannot drain inside the
+	// request's budget is rejected with Retry-After (cache hits above are
+	// never shed — they always beat any deadline).
+	if shed := s.shedCheck(ctx, evalUnit(ms)); shed != nil {
+		s.writeShed(w, shed, evalUnit(ms))
+		return
+	}
 	// Cluster mode: a missed key owned by a peer is forwarded there — the
 	// primary owner first, replicas in successor order when it is down —
 	// with local evaluation as the fallback when every owner is unreachable
@@ -750,17 +867,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	// there, the forward runs inside the singleflight so identical
 	// concurrent misses share one hop; predict responses have no rendering
 	// options, so the flight key is the cache key.
-	targets, owners, owned := s.route(r, key)
+	targets, owners, owned := s.route(s.isForwarded(r), key)
 	flightStart := time.Now()
 	v, shared, err := s.flights.Do(key, func() (any, error) {
 		if len(targets) > 0 {
-			if pr, ok := s.tryForward(tr, targets, "/v1/predict", req); ok {
+			if pr, ok := s.tryForward(ctx, tr, targets, "/v1/predict", req); ok {
 				return pr, nil
 			}
 		}
 		poolWait := tr.StartSpan("pool_wait")
 		var us float64
-		err := s.pool.Run(func() error {
+		err := s.admitRun(ctx, clientKey(r), func() error {
 			poolWait.End()
 			src, err := variants.Generate(k, kind, req.Teams, req.Threads)
 			if err != nil {
@@ -770,7 +887,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				Kernel: k, Kind: kind, Teams: req.Teams, Threads: req.Threads,
 				Bindings: req.Bindings, Source: src,
 			}
-			us, err = ms.advisor.PredictInstanceUSCtx(r.Context(), in)
+			us, err = ms.advisor.PredictInstanceUSCtx(ctx, in)
 			return err
 		})
 		if err != nil {
@@ -784,6 +901,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return us, nil
 	})
 	if err != nil {
+		if shed, ok := asShed(err); ok {
+			s.writeShed(w, shed, evalUnit(ms))
+			return
+		}
 		s.fail(w, http.StatusUnprocessableEntity, "predict %s on %s/%s: %v", k.Name, be.machine.Name, ms.name, err)
 		return
 	}

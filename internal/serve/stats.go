@@ -1,6 +1,10 @@
 package serve
 
-import "time"
+import (
+	"time"
+
+	"paragraph/internal/admit"
+)
 
 // ModelStats is the per-model-version slice of /v1/stats: traffic routed to
 // one (platform, version) pair and its batcher's counters.
@@ -34,7 +38,10 @@ type Stats struct {
 		// throughs); omitted at zero so non-replicated tiers keep their
 		// exact pre-replication stats payload.
 		Replicate uint64 `json:"replicate,omitempty"`
-		Errors    uint64 `json:"errors"`
+		// Jobs counts GET /v1/jobs/{id} polls; omitted at zero so tiers
+		// that never use the async path keep their exact prior payload.
+		Jobs   uint64 `json:"jobs,omitempty"`
+		Errors uint64 `json:"errors"`
 	} `json:"requests"`
 
 	AdviseCacheHits uint64 `json:"advise_cache_hits"`
@@ -46,6 +53,15 @@ type Stats struct {
 
 	Models []ModelStats `json:"models"`
 	Pool   PoolStats    `json:"pool"`
+
+	// Admit is the fair-queue admission view: per-client lanes, queue
+	// depth, and shed counters (the overload-control surface).
+	Admit admit.QueueStats `json:"admit"`
+	// Shed breaks admission rejections down by reason, mirroring
+	// serve_shed_total{reason} in /metrics.
+	Shed map[string]uint64 `json:"shed"`
+	// Jobs is the async job store: submissions, live states, expiries.
+	Jobs admit.StoreStats `json:"jobs"`
 
 	// Cluster is the consistent-hash tier view (ring membership, ownership
 	// fractions, per-peer forward/fallback counters); nil outside cluster
@@ -64,6 +80,7 @@ func (s *Server) snapshot() Stats {
 	st.Requests.Models = s.metrics.requests("models")
 	st.Requests.Ring = s.metrics.requests("ring")
 	st.Requests.Replicate = s.metrics.requests("replicate")
+	st.Requests.Jobs = s.metrics.requests("jobs")
 	st.Requests.Errors = s.metrics.totalErrors()
 	st.AdviseCacheHits = s.metrics.adviseHits.Value()
 	st.Coalesced = s.metrics.coalesced.Value()
@@ -85,6 +102,12 @@ func (s *Server) snapshot() Stats {
 		}
 	}
 	st.Pool = s.pool.Stats()
+	st.Admit = s.admit.Stats()
+	st.Shed = make(map[string]uint64, len(admit.Reasons()))
+	for _, reason := range admit.Reasons() {
+		st.Shed[string(reason)] = s.metrics.shed[reason].Value()
+	}
+	st.Jobs = s.jobs.Stats()
 	if s.cluster != nil {
 		ring := s.Ring()
 		st.Cluster = &ring

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"paragraph/internal/admit"
 	"paragraph/internal/obs"
 )
 
@@ -128,20 +130,37 @@ func (f *Forwarder) peer(name string) *peerClient {
 	return pc
 }
 
+// Meta is the request context a forward carries across the wire: the
+// originating request's trace id (so the answering peer's trace joins
+// it), and its remaining deadline budget (so the peer applies the same
+// admission policy the origin would — a forwarded request must not
+// outlive its caller's patience on someone else's queue).
+type Meta struct {
+	// TraceID propagates the originating request's trace ("" = untraced).
+	TraceID string
+	// Deadline is the originating request's remaining budget; when
+	// positive it rides the deadline header and the receiving peer treats
+	// it exactly like a client-set deadline. Zero propagates nothing.
+	Deadline time.Duration
+}
+
 // post performs one loop-guarded JSON POST to peer+path on the peer's
 // bounded client. Shared by the synchronous and async paths; counting is
-// the caller's job because the two paths have different counters. A
-// non-empty traceID rides along in the trace header so the receiving peer
-// joins the originating request's trace.
-func (f *Forwarder) post(pc *peerClient, peer, path string, body []byte, traceID string) (int, []byte, error) {
-	req, err := http.NewRequest(http.MethodPost, peer+path, bytes.NewReader(body))
+// the caller's job because the two paths have different counters. meta's
+// trace id and deadline ride along in their headers; ctx bounds the hop
+// in addition to the client's own timeout.
+func (f *Forwarder) post(ctx context.Context, pc *peerClient, peer, path string, body []byte, meta Meta) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, fmt.Errorf("shard: building forward to %s: %w", peer, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(ForwardedByHeader, f.self)
-	if traceID != "" {
-		req.Header.Set(obs.TraceHeader, traceID)
+	if meta.TraceID != "" {
+		req.Header.Set(obs.TraceHeader, meta.TraceID)
+	}
+	if meta.Deadline > 0 {
+		req.Header.Set(admit.DeadlineHeader, admit.FormatDeadline(meta.Deadline))
 	}
 	resp, err := pc.client.Do(req)
 	if err != nil {
@@ -161,10 +180,11 @@ func (f *Forwarder) post(pc *peerClient, peer, path string, body []byte, traceID
 // answered, and its answer (even "unknown kernel") is authoritative. A
 // non-nil error means the peer was unreachable (dial failure, timeout,
 // truncated response); the caller should fall back to serving locally.
-// traceID ("" = untraced) propagates the originating request's trace.
-func (f *Forwarder) Forward(peer, path string, body []byte, traceID string) (int, []byte, error) {
+// ctx cancellation aborts the hop (counted as an error); meta carries the
+// originating request's trace id and remaining deadline budget.
+func (f *Forwarder) Forward(ctx context.Context, peer, path string, body []byte, meta Meta) (int, []byte, error) {
 	pc := f.peer(peer)
-	status, out, err := f.post(pc, peer, path, body, traceID)
+	status, out, err := f.post(ctx, pc, peer, path, body, meta)
 	if err != nil {
 		pc.errors.Add(1)
 		return 0, nil, err
@@ -204,7 +224,7 @@ func (f *Forwarder) drainAsync() {
 			return
 		case job := <-f.queue:
 			pc := f.peer(job.peer)
-			status, _, err := f.post(pc, job.peer, job.path, job.body, job.traceID)
+			status, _, err := f.post(context.Background(), pc, job.peer, job.path, job.body, Meta{TraceID: job.traceID})
 			if err != nil || status/100 != 2 {
 				f.asyncErrs.Add(1)
 			} else {

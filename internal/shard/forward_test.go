@@ -1,12 +1,14 @@
 package shard
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
+	"paragraph/internal/admit"
 	"paragraph/internal/obs"
 )
 
@@ -27,7 +29,7 @@ func TestForwardRoundTrip(t *testing.T) {
 	defer peer.Close()
 
 	f := NewForwarder("http://self:1", ForwardOptions{})
-	status, body, err := f.Forward(peer.URL, "/v1/advise", []byte(`{"kernel":"matmul"}`), "trace-42")
+	status, body, err := f.Forward(context.Background(), peer.URL, "/v1/advise", []byte(`{"kernel":"matmul"}`), Meta{TraceID: "trace-42"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,12 +62,72 @@ func TestForwardUnreachablePeer(t *testing.T) {
 	peer.Close() // nothing listens anymore
 
 	f := NewForwarder("http://self:1", ForwardOptions{Timeout: 2 * time.Second})
-	if _, _, err := f.Forward(peer.URL, "/v1/advise", nil, ""); err == nil {
+	if _, _, err := f.Forward(context.Background(), peer.URL, "/v1/advise", nil, Meta{}); err == nil {
 		t.Fatal("forward to a closed peer succeeded")
 	}
 	st := f.Stats()
 	if len(st) != 1 || st[0].Errors != 1 || st[0].Forwards != 0 {
 		t.Errorf("stats after failed forward = %+v", st)
+	}
+}
+
+// TestForwardPropagatesDeadline: a forward carrying a remaining-budget
+// Meta sets the deadline header so the receiving peer applies the same
+// admission policy the origin would; a zero budget propagates nothing.
+func TestForwardPropagatesDeadline(t *testing.T) {
+	var gotDeadline string
+	var sawHeader bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotDeadline = r.Header.Get(admit.DeadlineHeader)
+		_, sawHeader = r.Header[admit.DeadlineHeader]
+	}))
+	defer peer.Close()
+
+	f := NewForwarder("http://self:1", ForwardOptions{})
+	if _, _, err := f.Forward(context.Background(), peer.URL, "/v1/advise", nil,
+		Meta{Deadline: 1500 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := admit.ParseDeadline(gotDeadline)
+	if err != nil {
+		t.Fatalf("peer received unparseable deadline %q: %v", gotDeadline, err)
+	}
+	if d != 1500*time.Millisecond {
+		t.Errorf("propagated deadline = %v, want 1.5s", d)
+	}
+
+	if _, _, err := f.Forward(context.Background(), peer.URL, "/v1/advise", nil, Meta{}); err != nil {
+		t.Fatal(err)
+	}
+	if sawHeader {
+		t.Error("a budget-less forward must not carry the deadline header")
+	}
+}
+
+// TestForwardHonorsContext: a cancelled context aborts the hop with an
+// error (counted), instead of waiting out the client timeout.
+func TestForwardHonorsContext(t *testing.T) {
+	release := make(chan struct{})
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	// Unwedge the handler before Close (defers run LIFO), or Close waits
+	// on the in-flight request forever.
+	defer peer.Close()
+	defer close(release)
+
+	f := NewForwarder("http://self:1", ForwardOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, _, err := f.Forward(ctx, peer.URL, "/v1/advise", nil, Meta{}); err == nil {
+		t.Fatal("forward on an expired context succeeded")
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Errorf("cancelled forward took %v, context not honored", took)
+	}
+	if st := f.Stats(); st[0].Errors != 1 {
+		t.Errorf("stats = %+v, want the aborted hop counted as an error", st)
 	}
 }
 
@@ -140,7 +202,7 @@ func TestForwardErrorStatusIsNotAnError(t *testing.T) {
 	defer peer.Close()
 
 	f := NewForwarder("http://self:1", ForwardOptions{})
-	status, _, err := f.Forward(peer.URL, "/v1/advise", []byte(`{}`), "")
+	status, _, err := f.Forward(context.Background(), peer.URL, "/v1/advise", []byte(`{}`), Meta{})
 	if err != nil {
 		t.Fatalf("HTTP 400 from the owner reported as transport error: %v", err)
 	}
