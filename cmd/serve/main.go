@@ -16,6 +16,17 @@
 // degrading to local serving. Every peer must be started with the same
 // -peers list, the same -replication, and the same checkpoints.
 //
+// With -feedback-dir the serving loop closes (docs/OPERATIONS.md, "Staged
+// Rollouts"): POST /v1/feedback accepts measured runtimes for served
+// predictions, appends them to a durable per-platform log, and — when
+// -model-dir is also set — enough accumulated measurements trigger a
+// background incremental retrain whose output serves as a *candidate* on
+// -rollout-split percent of unpinned traffic. Sustained measured
+// non-inferiority promotes the candidate to stable (pruning superseded
+// checkpoints under -gc-keep); sustained regression rolls it back. The
+// stable version never stops serving either way, and the rollout state
+// persists in the registry so restarts resume where the process left off.
+//
 // Usage:
 //
 //	serve [-addr :8080] [-model-dir DIR | -scale tiny|small|full]
@@ -24,6 +35,9 @@
 //	      [-cache-file PATH] [-cache-snapshot 5m]
 //	      [-admit-queue N] [-admit-per-client N]
 //	      [-jobs-max N] [-jobs-ttl 5m]
+//	      [-feedback-dir DIR] [-rollout-split 10] [-retrain-after 100]
+//	      [-retrain-epochs N] [-quality-window 512] [-quality-min 30]
+//	      [-promote-after 3] [-rollback-after 3] [-gc-keep 2]
 //	      [-self http://host:8080 -peers http://host:8080,http://host2:8080]
 //	      [-replication 2]
 //	      [-log-level info] [-trace-slow 250ms] [-trace-ring 128]
@@ -34,10 +48,11 @@
 //	POST /v1/advise     rank variant grid for a kernel on one machine
 //	                    (?async=1 submits a job, answered 202 + job id)
 //	POST /v1/predict    predict one variant's runtime
+//	POST /v1/feedback   report a measured runtime for a served prediction
 //	GET  /v1/jobs/{id}  poll an async advise job (?stream=1 for NDJSON)
 //	GET  /v1/healthz    liveness and served machines
-//	GET  /v1/models     served model versions per platform
-//	GET  /v1/stats      cache/batcher/pool/per-model/cluster counters
+//	GET  /v1/models     served model versions per platform (+ rollout roles)
+//	GET  /v1/stats      cache/batcher/pool/per-model/cluster/rollout counters
 //	GET  /v1/ring       cluster membership, ownership, forward counters
 //	GET  /v1/trace      recent request traces (?id= for one, ?n= to bound)
 //	GET  /metrics       Prometheus text exposition of every serve_* series
@@ -253,6 +268,15 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 	traceSlow := fs.Duration("trace-slow", 0, "log traced requests at or above this latency (0 = default 250ms, negative = disable)")
 	traceRing := fs.Int("trace-ring", 0, "finished request traces retained for GET /v1/trace (0 = default)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+	feedbackDir := fs.String("feedback-dir", "", "accept POST /v1/feedback and append measured runtimes under this directory (empty = lifecycle disabled)")
+	rolloutSplit := fs.Float64("rollout-split", 0, "percentage of unpinned traffic a fresh candidate serves (0 = default 10)")
+	retrainAfter := fs.Int("retrain-after", 0, "accepted measurements per platform between background retrains (0 = default 100, negative = never retrain)")
+	retrainEpochs := fs.Int("retrain-epochs", 0, "epochs per incremental retrain (0 = trainer default)")
+	qualityWindow := fs.Int("quality-window", 0, "per-model (predicted, measured) pairs kept in the quality window (0 = default 512)")
+	qualityMin := fs.Int("quality-min", 0, "pairs both windows need before promote/rollback decisions (0 = default 30)")
+	promoteAfter := fs.Int("promote-after", 0, "consecutive non-inferior evaluations before a candidate promotes (0 = default 3)")
+	rollbackAfter := fs.Int("rollback-after", 0, "consecutive regressing evaluations before a candidate rolls back (0 = default 3)")
+	gcKeep := fs.Int("gc-keep", 0, "superseded checkpoint versions kept after a promotion (0 = default 2, -1 = keep none, -2 = disable GC)")
 	self := fs.String("self", "", "cluster mode: this process's base URL as peers reach it (http://host:port)")
 	peersFlag := fs.String("peers", "", "cluster mode: comma-separated base URLs of every peer (including -self)")
 	vnodes := fs.Int("ring-vnodes", 0, "cluster mode: virtual nodes per peer on the hash ring (0 = default)")
@@ -325,9 +349,24 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 		TraceSlow:       *traceSlow,
 		TraceRing:       *traceRing,
 		Logger:          logger,
+
+		FeedbackDir:       *feedbackDir,
+		RegistryRoot:      *modelDir,
+		RolloutSplit:      *rolloutSplit,
+		RetrainAfter:      *retrainAfter,
+		RetrainEpochs:     *retrainEpochs,
+		QualityWindow:     *qualityWindow,
+		MinQualitySamples: *qualityMin,
+		PromoteAfter:      *promoteAfter,
+		RollbackAfter:     *rollbackAfter,
+		GCKeep:            *gcKeep,
 	})
 	if err != nil {
 		return nil, serveConfig{}, err
+	}
+	if *feedbackDir != "" {
+		logger.Info("feedback lifecycle enabled",
+			"dir", *feedbackDir, "registry", *modelDir, "retrain", *modelDir != "" && *retrainAfter >= 0)
 	}
 	if clusterMode {
 		if err := srv.EnableCluster(serve.ClusterConfig{

@@ -4,11 +4,21 @@
 // (internal/registry: weights + manifest) that cmd/serve -model-dir can
 // boot from without retraining.
 //
+// With -from-feedback it retrains incrementally instead: measured runtimes
+// collected by `serve -feedback-dir` (POST /v1/feedback) are read from the
+// given log directory, the platform's stable checkpoint under -save-dir is
+// fine-tuned on them, and the result is saved as a *candidate* version with
+// the platform's rollout state pointing at it — the same path a serving
+// process takes on its own when started with both -feedback-dir and
+// -model-dir, available offline for operators who retrain out of band.
+//
 // Usage:
 //
 //	train [-scale tiny|small|full] [-platform "NVIDIA V100 (GPU)"]
 //	      [-level raw|aug|para] [-compoff] [-epochs N] [-points N]
 //	      [-save-dir DIR] [-save-name NAME]
+//	train -from-feedback DIR -save-dir DIR [-platform NAME]
+//	      [-epochs N] [-rollout-split 10] [-min-records 20] [-save-name NAME]
 package main
 
 import (
@@ -18,8 +28,10 @@ import (
 	"math"
 	"os"
 	"strings"
+	"time"
 
 	"paragraph/internal/experiments"
+	"paragraph/internal/feedback"
 	"paragraph/internal/hw"
 	"paragraph/internal/metrics"
 	"paragraph/internal/paragraph"
@@ -44,6 +56,9 @@ func run(args []string, w io.Writer) error {
 	points := fs.Int("points", 0, "override dataset points per platform (0 = scale default)")
 	saveDir := fs.String("save-dir", "", "write the trained model as a registry checkpoint under this directory")
 	saveName := fs.String("save-name", "default", "checkpoint version name within -save-dir")
+	fromFeedback := fs.String("from-feedback", "", "incremental retrain: fine-tune the stable checkpoint under -save-dir on measured feedback from this log directory")
+	rolloutSplit := fs.Float64("rollout-split", 0, "canary traffic percentage recorded for the retrained candidate (0 = default 10)")
+	minRecords := fs.Int("min-records", 0, "feedback records required before retraining (0 = default 20)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +67,18 @@ func run(args []string, w io.Writer) error {
 		if err := registry.CheckName(*saveName); err != nil {
 			return err
 		}
+	}
+	if *fromFeedback != "" {
+		// The candidate name is derived ("fb-<timestamp>") unless the
+		// operator explicitly chose one.
+		candName := ""
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "save-name" {
+				candName = *saveName
+			}
+		})
+		return retrainFromFeedback(w, *fromFeedback, *saveDir, candName, *platform,
+			*rolloutSplit, *epochs, *minRecords)
 	}
 
 	var scale experiments.Scale
@@ -123,6 +150,52 @@ func run(args []string, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "COMPOFF comparison: mean rel err ParaGraph %.4f vs COMPOFF %.4f (ParaGraph wins %.1f%%)\n",
 			res.ParaGraphMeanErr, res.CompoffMeanErr, 100*res.WinFraction)
+	}
+	return nil
+}
+
+// retrainFromFeedback is the -from-feedback mode: read the measured-runtime
+// log, fine-tune the platform's stable checkpoint, save the candidate and
+// report the rollout state the serving tier will pick up.
+func retrainFromFeedback(w io.Writer, logDir, root, candName, platform string,
+	splitPct float64, epochs, minRecords int) error {
+	if root == "" {
+		return fmt.Errorf("-from-feedback requires -save-dir (the registry root holding the stable checkpoint)")
+	}
+	m, err := hw.ByName(platform)
+	if err != nil {
+		return err
+	}
+	lg, err := feedback.Open(logDir)
+	if err != nil {
+		return err
+	}
+	recs, skipped, err := lg.Read(m.Name)
+	if err != nil {
+		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(w, "warning: skipped %d torn or malformed feedback lines\n", skipped)
+	}
+	fmt.Fprintf(w, "retraining %s incrementally on %d measured records from %s\n",
+		m.Name, len(recs), logDir)
+	res, err := registry.RetrainFromFeedback(root, m.Name, recs, registry.RetrainOptions{
+		CandidateName: candName,
+		SplitPct:      splitPct,
+		Epochs:        epochs,
+		Seed:          time.Now().UnixNano(),
+		MinRecords:    minRecords,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "candidate %s/%s saved to %s (fine-tuned from stable %q)\n",
+		m.Name, res.Candidate.Manifest.Name, res.Candidate.Dir, res.Stable)
+	fmt.Fprintf(w, "train %d, val %d, unusable %d, final val RMSE (scaled) %.5f\n",
+		res.TrainSamples, res.ValSamples, res.Skipped, res.FinalValRMSE)
+	if st, err := registry.LoadRollout(root, m.Name); err == nil && st != nil {
+		fmt.Fprintf(w, "rollout: stable %s, candidate %s at %.0f%% of unpinned traffic\n",
+			st.Stable, st.Candidate, st.SplitPct)
 	}
 	return nil
 }

@@ -114,6 +114,9 @@ func (s *Server) runAdviseJob(id string, p adviseParams, budget time.Duration) {
 	}
 	p.ms.advise.Add(1)
 	p.ms.touch()
+	if s.lifecycle != nil {
+		s.lifecycle.noteAdvise(p, recs)
+	}
 	resp := s.renderAdvise(p, recs, cached, coalesced)
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	s.jobs.Finish(id, resp, nil)

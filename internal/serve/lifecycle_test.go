@@ -1,0 +1,670 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"paragraph/internal/feedback"
+	"paragraph/internal/gnn"
+	"paragraph/internal/hw"
+	"paragraph/internal/paragraph"
+	"paragraph/internal/registry"
+)
+
+// newFeedbackServer serves the oracle backends with the feedback loop
+// enabled but no registry root: measurements are accepted and windowed, but
+// nothing retrains. Returns the feedback directory for log inspection.
+func newFeedbackServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := NewServer([]Backend{
+		{Machine: hw.Power9(), Model: oracleModel{}, Prep: testPrep()},
+		{Machine: hw.V100(), Model: oracleModel{}, Prep: testPrep()},
+	}, Options{FeedbackDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, dir
+}
+
+// saveLCCheckpoint writes one real (tiny) GNN checkpoint into the registry.
+func saveLCCheckpoint(t *testing.T, root, name string, seed int64) {
+	t.Helper()
+	model := gnn.NewModel(gnn.Config{
+		Hidden: 8, FeatHidden: 8, Layers: 1,
+		Relations: int(paragraph.NumEdgeTypes), Seed: seed,
+	})
+	if _, err := registry.Save(root, hw.V100(), name, paragraph.LevelParaGraph,
+		model, testPrep(), registry.TrainInfo{Epochs: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// registryBackends loads saved checkpoints back resident (float32 inference,
+// like cmd/serve does) as serving backends; the first name is the default.
+func registryBackends(t *testing.T, root string, names ...string) []Backend {
+	t.Helper()
+	var bs []Backend
+	for i, name := range names {
+		dir := filepath.Join(root, registry.PlatformSlug(hw.V100().Name), name)
+		model, cp, err := registry.LoadCheckpoint(dir, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		level, err := registry.ParseLevel(cp.Manifest.Level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs = append(bs, Backend{
+			Machine: hw.V100(), Model: model, Prep: testPrep(), Name: name,
+			Default: i == 0,
+			Info:    &ModelInfo{Level: level, Source: "checkpoint"},
+		})
+	}
+	return bs
+}
+
+func lcPredictReq(n float64) PredictRequest {
+	return PredictRequest{
+		Kernel: "matmul", Machine: hw.V100().Name,
+		Variant: "gpu", Teams: 64, Threads: 128,
+		Bindings: map[string]float64{"n": n},
+	}
+}
+
+func lcPredict(t *testing.T, s *Server, n float64) PredictResponse {
+	t.Helper()
+	var pr PredictResponse
+	if rec := do(t, s, http.MethodPost, "/v1/predict", lcPredictReq(n), &pr); rec.Code != http.StatusOK {
+		t.Fatalf("predict(n=%g): %d %s", n, rec.Code, rec.Body.String())
+	}
+	if len(pr.Key) != 64 {
+		t.Fatalf("predict response key = %q, want 64-char hash", pr.Key)
+	}
+	return pr
+}
+
+func postFeedback(t *testing.T, s *Server, freq FeedbackRequest) (FeedbackResponse, *httptest.ResponseRecorder) {
+	t.Helper()
+	var resp FeedbackResponse
+	rec := do(t, s, http.MethodPost, "/v1/feedback", freq, &resp)
+	return resp, rec
+}
+
+func postFeedbackRaw(t *testing.T, s *Server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/feedback", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func lcStats(t *testing.T, s *Server) Stats {
+	t.Helper()
+	var st Stats
+	if rec := do(t, s, http.MethodGet, "/v1/stats", nil, &st); rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	return st
+}
+
+func lcModels(t *testing.T, s *Server) map[string]ModelDesc {
+	t.Helper()
+	var mr ModelsResponse
+	if rec := do(t, s, http.MethodGet, "/v1/models", nil, &mr); rec.Code != http.StatusOK {
+		t.Fatalf("models: %d", rec.Code)
+	}
+	out := map[string]ModelDesc{}
+	for _, d := range mr.Models {
+		out[d.Name] = d
+	}
+	return out
+}
+
+func TestFeedbackPredictRoundTrip(t *testing.T) {
+	s, dir := newFeedbackServer(t)
+
+	var preds []PredictResponse
+	for _, n := range []float64{256, 300, 400} {
+		preds = append(preds, lcPredict(t, s, n))
+	}
+	for i, pr := range preds {
+		resp, rec := postFeedback(t, s, FeedbackRequest{Key: pr.Key, MeasuredUS: pr.PredictedUS * 1.05})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("feedback %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+		if resp.Status != "accepted" || resp.Platform != hw.V100().Name ||
+			resp.Model != "default" || resp.Kernel != "matmul" ||
+			resp.Variant != "gpu" || resp.Teams != 64 || resp.Threads != 128 {
+			t.Errorf("feedback %d echo = %+v", i, resp)
+		}
+		if resp.PredictedUS != pr.PredictedUS {
+			t.Errorf("feedback %d predicted = %g, want the served %g", i, resp.PredictedUS, pr.PredictedUS)
+		}
+		if resp.Pairs != i+1 {
+			t.Errorf("feedback %d pairs = %d, want %d", i, resp.Pairs, i+1)
+		}
+	}
+
+	// The loop's view: /v1/stats counts and windows the measurements.
+	st := lcStats(t, s)
+	if st.Requests.Feedback != 3 {
+		t.Errorf("feedback requests = %d, want 3", st.Requests.Feedback)
+	}
+	if st.Lifecycle == nil {
+		t.Fatal("stats carry no lifecycle section")
+	}
+	if st.Lifecycle.FeedbackAccepted != 3 || st.Lifecycle.FeedbackRejected != 0 {
+		t.Errorf("accepted/rejected = %d/%d, want 3/0",
+			st.Lifecycle.FeedbackAccepted, st.Lifecycle.FeedbackRejected)
+	}
+	if len(st.Lifecycle.Rollouts) != 1 || st.Lifecycle.Rollouts[0].Platform != hw.V100().Name {
+		t.Fatalf("rollouts = %+v", st.Lifecycle.Rollouts)
+	}
+	ro := st.Lifecycle.Rollouts[0]
+	if ro.Stable != "default" || ro.Candidate != "" {
+		t.Errorf("rollout = %+v, want stable default and no candidate", ro)
+	}
+	if len(ro.Models) != 1 || ro.Models[0].Pairs != 3 {
+		t.Fatalf("windowed models = %+v", ro.Models)
+	}
+	// measured = 1.05×predicted is a perfect ranking.
+	if ro.Models[0].RankCorr == nil || math.Abs(*ro.Models[0].RankCorr-1) > 1e-12 {
+		t.Errorf("rank corr = %v, want 1", ro.Models[0].RankCorr)
+	}
+
+	// /v1/models carries the same quality view.
+	d := lcModels(t, s)["default"]
+	if d.FeedbackPairs != 3 || d.RankCorr == nil {
+		t.Errorf("models annotation = %+v", d)
+	}
+
+	// The measurements are durable: a fresh reader sees all three records
+	// with the rebuilt variant source a retrain needs.
+	lg, err := feedback.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, skipped, err := lg.Read(hw.V100().Name)
+	if err != nil || skipped != 0 || len(recs) != 3 {
+		t.Fatalf("log read = %d recs, %d skipped, err %v", len(recs), skipped, err)
+	}
+	for _, rec := range recs {
+		if rec.Source == "" || rec.Bindings["n"] == 0 || rec.MeasuredUS <= 0 {
+			t.Errorf("log record incomplete: %+v", rec)
+		}
+	}
+
+	// And /metrics exposes the outcome counter and quality gauges.
+	out := scrapeMetrics(t, s)
+	for _, want := range []string{
+		`serve_feedback_total{outcome="accepted"} 3`,
+		`serve_feedback_total{outcome="invalid"} 0`,
+		`serve_rollout_stage{platform="NVIDIA V100 (GPU)"} 0`,
+		`serve_model_feedback_pairs{platform="NVIDIA V100 (GPU)",model="default"} 3`,
+		`serve_model_rank_corr{platform="NVIDIA V100 (GPU)",model="default"} `,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestFeedbackValidation(t *testing.T) {
+	s, _ := newFeedbackServer(t)
+	goodKey := strings.Repeat("ab", 32)
+
+	if rec := do(t, s, http.MethodGet, "/v1/feedback", nil, nil); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET feedback = %d, want 405", rec.Code)
+	}
+
+	invalid := []struct {
+		name, body string
+	}{
+		{"malformed json", `{`},
+		{"unknown field", `{"key":"` + goodKey + `","measured_us":1,"extra":2}`},
+		{"trailing data", `{"key":"` + goodKey + `","measured_us":1}{}`},
+		{"short key", `{"key":"abc","measured_us":1}`},
+		{"uppercase key", `{"key":"` + strings.Repeat("AB", 32) + `","measured_us":1}`},
+		{"zero runtime", `{"key":"` + goodKey + `","measured_us":0}`},
+		{"negative runtime", `{"key":"` + goodKey + `","measured_us":-5}`},
+		{"negative teams", `{"key":"` + goodKey + `","teams":-1,"measured_us":1}`},
+		{"oversized body", `{"pad":"` + strings.Repeat("x", maxFeedbackBody) + `"}`},
+	}
+	for _, tc := range invalid {
+		if rec := postFeedbackRaw(t, s, tc.body); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400", tc.name, rec.Code)
+		}
+	}
+
+	// Well-formed but never served: rejected against the journal.
+	if _, rec := postFeedback(t, s, FeedbackRequest{Key: goodKey, MeasuredUS: 10}); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown key = %d, want 404", rec.Code)
+	}
+
+	// An advise ranking journals a grid of points: feedback must name one
+	// point unambiguously.
+	var ar AdviseResponse
+	if rec := do(t, s, http.MethodPost, "/v1/advise", adviseReq("NVIDIA V100 (GPU)"), &ar); rec.Code != http.StatusOK {
+		t.Fatalf("advise: %d", rec.Code)
+	}
+	if len(ar.Key) != 64 {
+		t.Fatalf("advise response key = %q", ar.Key)
+	}
+	if _, rec := postFeedback(t, s, FeedbackRequest{Key: ar.Key, MeasuredUS: 10}); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("8-point ambiguity = %d, want 422", rec.Code)
+	}
+	if _, rec := postFeedback(t, s, FeedbackRequest{Key: ar.Key, Variant: "gpu", MeasuredUS: 10}); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("2-point ambiguity = %d, want 422", rec.Code)
+	}
+	if _, rec := postFeedback(t, s, FeedbackRequest{Key: ar.Key, Variant: "gpu", Teams: 64, Threads: 999, MeasuredUS: 10}); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("unserved point = %d, want 422", rec.Code)
+	}
+	resp, rec := postFeedback(t, s, FeedbackRequest{Key: ar.Key, Variant: "gpu", Teams: 64, Threads: 128, MeasuredUS: 10})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("exact point = %d %s", rec.Code, rec.Body.String())
+	}
+	if resp.Variant != "gpu" || resp.Teams != 64 || resp.Threads != 128 || resp.PredictedUS <= 0 {
+		t.Errorf("matched point = %+v", resp)
+	}
+
+	st := lcStats(t, s)
+	if st.Lifecycle.FeedbackAccepted != 1 || st.Lifecycle.FeedbackRejected != 13 {
+		t.Errorf("accepted/rejected = %d/%d, want 1/13",
+			st.Lifecycle.FeedbackAccepted, st.Lifecycle.FeedbackRejected)
+	}
+	out := scrapeMetrics(t, s)
+	for _, want := range []string{
+		`serve_feedback_total{outcome="accepted"} 1`,
+		`serve_feedback_total{outcome="invalid"} 9`,
+		`serve_feedback_total{outcome="unknown_key"} 1`,
+		`serve_feedback_total{outcome="mismatch"} 3`,
+		`serve_feedback_total{outcome="error"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Without -feedback-dir the loop is off: the endpoint refuses and
+	// /v1/stats keeps its exact prior shape (no lifecycle section).
+	off := newTestServer(t)
+	if rec := do(t, off, http.MethodPost, "/v1/feedback", FeedbackRequest{Key: goodKey, MeasuredUS: 1}, nil); rec.Code != http.StatusConflict {
+		t.Errorf("disabled feedback = %d, want 409", rec.Code)
+	}
+	if st := lcStats(t, off); st.Lifecycle != nil {
+		t.Error("disabled lifecycle still appears in stats")
+	}
+}
+
+// TestLifecyclePromoteE2E drives the whole loop against real checkpoints:
+// serve → measured feedback → background incremental retrain → candidate
+// serving its configured split → sustained non-inferiority → promotion →
+// superseded checkpoint pruned under keep-none retention.
+func TestLifecyclePromoteE2E(t *testing.T) {
+	root := t.TempDir()
+	saveLCCheckpoint(t, root, "v1", 7)
+	s, err := NewServer(registryBackends(t, root, "v1"), Options{
+		FeedbackDir:       t.TempDir(),
+		RegistryRoot:      root,
+		RolloutSplit:      50,
+		RetrainAfter:      40,
+		RetrainEpochs:     1,
+		MinQualitySamples: 5,
+		PromoteAfter:      3,
+		RollbackAfter:     3,
+		GCKeep:            -1, // keep nothing beyond stable/candidate
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	// Phase 1: enough measured traffic to trigger a retrain. Measurements
+	// match predictions exactly, so the stable's rank correlation is 1.
+	for i := 0; i < 40; i++ {
+		pr := lcPredict(t, s, float64(100+25*i))
+		if pr.Model != "v1" {
+			t.Fatalf("pre-candidate predict served by %q, want v1", pr.Model)
+		}
+		if _, rec := postFeedback(t, s, FeedbackRequest{Key: pr.Key, MeasuredUS: pr.PredictedUS}); rec.Code != http.StatusOK {
+			t.Fatalf("feedback %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+	}
+
+	// The retrain runs in the background; wait for candidate adoption.
+	var cand string
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		if n := s.lifecycle.retrainErrors.Load(); n > 0 {
+			t.Fatal("background retrain failed (see log)")
+		}
+		st := lcStats(t, s)
+		if len(st.Lifecycle.Rollouts) == 1 && st.Lifecycle.Rollouts[0].Candidate != "" {
+			cand = st.Lifecycle.Rollouts[0].Candidate
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if cand == "" {
+		t.Fatal("no candidate adopted within the deadline")
+	}
+	if !strings.HasPrefix(cand, "fb-") {
+		t.Errorf("candidate name = %q, want fb-* (feedback retrain)", cand)
+	}
+
+	descs := lcModels(t, s)
+	if d := descs["v1"]; d.Role != "stable" || !d.Default {
+		t.Errorf("v1 desc = %+v, want default stable", d)
+	}
+	if d, ok := descs[cand]; !ok || d.Role != "candidate" || d.RolloutSplit != 50 || d.Source != "feedback" {
+		t.Errorf("candidate desc = %+v", d)
+	}
+	out := scrapeMetrics(t, s)
+	for _, want := range []string{
+		"serve_retrains_total 1",
+		`serve_rollout_stage{platform="NVIDIA V100 (GPU)"} 1`,
+		`serve_rollout_split{platform="NVIDIA V100 (GPU)"} 50`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// Phase 2: measured traffic across the split. The candidate also
+	// predicts its own measurements perfectly → non-inferior → promote.
+	candServed, promoted := 0, false
+	for i := 0; i < 35 && !promoted; i++ {
+		pr := lcPredict(t, s, float64(5000+i))
+		if pr.Model == cand {
+			candServed++
+		}
+		if _, rec := postFeedback(t, s, FeedbackRequest{Key: pr.Key, MeasuredUS: pr.PredictedUS}); rec.Code != http.StatusOK {
+			t.Fatalf("phase-2 feedback %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+		promoted = s.lifecycle.promotions.Load() > 0
+	}
+	if !promoted {
+		t.Fatalf("candidate never promoted (served %d of 35 measured requests)", candServed)
+	}
+	if candServed == 0 {
+		t.Fatal("candidate promoted without serving any traffic")
+	}
+
+	// The promoted candidate is the new stable and serving default; the
+	// superseded v1 is unregistered and its checkpoint pruned (keep-none).
+	st := lcStats(t, s)
+	ro := st.Lifecycle.Rollouts[0]
+	if ro.Stable != cand || ro.Candidate != "" {
+		t.Errorf("post-promote rollout = %+v", ro)
+	}
+	if st.Lifecycle.Promotions != 1 || st.Lifecycle.Rollbacks != 0 || st.Lifecycle.GCRemoved != 1 {
+		t.Errorf("promotions/rollbacks/gc = %d/%d/%d, want 1/0/1",
+			st.Lifecycle.Promotions, st.Lifecycle.Rollbacks, st.Lifecycle.GCRemoved)
+	}
+	descs = lcModels(t, s)
+	if _, ok := descs["v1"]; ok {
+		t.Error("superseded v1 still served after promotion under keep-none retention")
+	}
+	if d := descs[cand]; d.Role != "stable" || !d.Default {
+		t.Errorf("promoted desc = %+v, want default stable", d)
+	}
+	if _, err := os.Stat(filepath.Join(root, registry.PlatformSlug(hw.V100().Name), "v1")); !os.IsNotExist(err) {
+		t.Errorf("superseded checkpoint still on disk (err=%v)", err)
+	}
+	if pr := lcPredict(t, s, 99999); pr.Model != cand {
+		t.Errorf("post-promote default predict served by %q, want %q", pr.Model, cand)
+	}
+
+	// The transition is durable: a restart would resume from the promoted
+	// stable.
+	rs, err := registry.LoadRollout(root, hw.V100().Name)
+	if err != nil || rs == nil {
+		t.Fatalf("load rollout: %+v, %v", rs, err)
+	}
+	if rs.Stable != cand || rs.Candidate != "" || rs.Promotions != 1 {
+		t.Errorf("persisted rollout = %+v", rs)
+	}
+	if len(rs.History) == 0 || rs.History[len(rs.History)-1].Event != "promote" {
+		t.Errorf("rollout history = %+v, want promote last", rs.History)
+	}
+
+	out = scrapeMetrics(t, s)
+	for _, want := range []string{
+		"serve_promotions_total 1",
+		"serve_rollbacks_total 0",
+		"serve_gc_removed_total 1",
+		`serve_rollout_stage{platform="NVIDIA V100 (GPU)"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestLifecycleRollbackE2E poisons a candidate (measurements anti-correlate
+// with its predictions) and asserts the automatic rollback: unpinned traffic
+// snaps back to stable, the stable version never stops serving, and no
+// request fails at any point.
+func TestLifecycleRollbackE2E(t *testing.T) {
+	root := t.TempDir()
+	saveLCCheckpoint(t, root, "v1", 5)
+	saveLCCheckpoint(t, root, "v2", 6)
+	if err := registry.SaveRollout(root, &registry.RolloutState{
+		Platform: hw.V100().Name, Stable: "v1", Candidate: "v2", SplitPct: 40,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(registryBackends(t, root, "v1", "v2"), Options{
+		FeedbackDir:       t.TempDir(),
+		RegistryRoot:      root,
+		RetrainAfter:      1 << 30, // keep the retrain path out of this test
+		MinQualitySamples: 5,
+		PromoteAfter:      3,
+		RollbackAfter:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	served := map[string]int{}
+	rolledAt := -1
+	for i := 0; i < 80; i++ {
+		pr := lcPredict(t, s, float64(4000+i)) // lcPredict fails the test on any non-200
+		served[pr.Model]++
+		if rolledAt >= 0 && pr.Model != "v1" {
+			t.Errorf("request %d served by %q after rollback, want v1", i, pr.Model)
+		}
+		meas := pr.PredictedUS
+		if pr.Model == "v2" {
+			meas = 1e9 / pr.PredictedUS // inverts the ranking: corr → -1
+		}
+		if _, rec := postFeedback(t, s, FeedbackRequest{Key: pr.Key, MeasuredUS: meas}); rec.Code != http.StatusOK {
+			t.Fatalf("feedback %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+		if rolledAt < 0 && s.lifecycle.rollbacks.Load() > 0 {
+			rolledAt = i
+		}
+	}
+	if rolledAt < 0 {
+		t.Fatalf("poisoned candidate never rolled back (served %d requests)", served["v2"])
+	}
+	if served["v2"] < 5 {
+		t.Fatalf("candidate served %d requests before rollback, want >= MinQualitySamples", served["v2"])
+	}
+	if served["v1"] == 0 {
+		t.Fatal("stable served nothing during the canary")
+	}
+
+	st := lcStats(t, s)
+	ro := st.Lifecycle.Rollouts[0]
+	if ro.Stable != "v1" || ro.Candidate != "" || st.Lifecycle.Rollbacks != 1 || st.Lifecycle.Promotions != 0 {
+		t.Errorf("post-rollback state = %+v (rollbacks %d)", ro, st.Lifecycle.Rollbacks)
+	}
+	// The rolled-back candidate stays registered (pinnable for postmortem)
+	// and its checkpoint stays on disk — only promotion prunes.
+	descs := lcModels(t, s)
+	if d, ok := descs["v2"]; !ok || d.Role != "" {
+		t.Errorf("rolled-back candidate desc = %+v (present %v)", d, ok)
+	}
+	if d := descs["v1"]; d.Role != "stable" || !d.Default {
+		t.Errorf("stable desc = %+v", d)
+	}
+	if _, err := os.Stat(filepath.Join(root, registry.PlatformSlug(hw.V100().Name), "v2")); err != nil {
+		t.Errorf("rolled-back checkpoint missing: %v", err)
+	}
+	var pinned PredictResponse
+	req := lcPredictReq(4000)
+	req.Model = "v2"
+	if rec := do(t, s, http.MethodPost, "/v1/predict", req, &pinned); rec.Code != http.StatusOK || pinned.Model != "v2" {
+		t.Errorf("pinned postmortem predict = %d model %q", rec.Code, pinned.Model)
+	}
+
+	rs, err := registry.LoadRollout(root, hw.V100().Name)
+	if err != nil || rs == nil {
+		t.Fatalf("load rollout: %+v, %v", rs, err)
+	}
+	if rs.Stable != "v1" || rs.Candidate != "" || rs.Rollbacks != 1 {
+		t.Errorf("persisted rollout = %+v", rs)
+	}
+	if len(rs.History) == 0 || rs.History[len(rs.History)-1].Event != "rollback" {
+		t.Errorf("rollout history = %+v, want rollback last", rs.History)
+	}
+
+	out := scrapeMetrics(t, s)
+	for _, want := range []string{
+		"serve_rollbacks_total 1",
+		"serve_promotions_total 0",
+		`serve_rollout_stage{platform="NVIDIA V100 (GPU)"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestLifecycleRoutingDeterminism restores the same persisted rollout state
+// into two independent server processes and asserts they route every request
+// to the same version: the A/B verdict is a pure function of (key, split),
+// so restarts (and cluster peers) agree with no coordination.
+func TestLifecycleRoutingDeterminism(t *testing.T) {
+	root := t.TempDir()
+	saveLCCheckpoint(t, root, "v1", 3)
+	saveLCCheckpoint(t, root, "v2", 4)
+	if err := registry.SaveRollout(root, &registry.RolloutState{
+		Platform: hw.V100().Name, Stable: "v1", Candidate: "v2", SplitPct: 50,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		FeedbackDir:  t.TempDir(),
+		RegistryRoot: root,
+		RetrainAfter: 1 << 30,
+	}
+	serveAll := func(s *Server) map[int]string {
+		t.Helper()
+		got := map[int]string{}
+		for i := 0; i < 40; i++ {
+			got[i] = lcPredict(t, s, float64(3000+i)).Model
+		}
+		return got
+	}
+
+	sA, err := NewServer(registryBackends(t, root, "v1", "v2"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	descs := lcModels(t, sA)
+	if d := descs["v1"]; d.Role != "stable" || !d.Default || d.RolloutSplit != 50 {
+		t.Errorf("restored v1 desc = %+v", d)
+	}
+	if d := descs["v2"]; d.Role != "candidate" || d.RolloutSplit != 50 {
+		t.Errorf("restored v2 desc = %+v", d)
+	}
+	first := serveAll(sA)
+	sA.Close()
+
+	seen := map[string]int{}
+	for _, m := range first {
+		seen[m]++
+	}
+	if seen["v1"] == 0 || seen["v2"] == 0 {
+		t.Fatalf("split routed nothing to one side: %v", seen)
+	}
+
+	sB, err := NewServer(registryBackends(t, root, "v1", "v2"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sB.Close)
+	for i, m := range serveAll(sB) {
+		if m != first[i] {
+			t.Errorf("request %d routed to %q after restart, was %q", i, m, first[i])
+		}
+	}
+
+	// Pinning overrides the split both ways.
+	for _, want := range []string{"v1", "v2"} {
+		req := lcPredictReq(3000)
+		req.Model = want
+		var pr PredictResponse
+		if rec := do(t, sB, http.MethodPost, "/v1/predict", req, &pr); rec.Code != http.StatusOK || pr.Model != want {
+			t.Errorf("pinned %s predict = %d model %q", want, rec.Code, pr.Model)
+		}
+	}
+}
+
+// FuzzFeedbackDecode asserts the strict decoder never accepts a submission
+// violating its documented invariants (and never panics).
+func FuzzFeedbackDecode(f *testing.F) {
+	f.Add([]byte(`{"key":"` + strings.Repeat("ab", 32) + `","measured_us":12.5}`))
+	f.Add([]byte(`{"key":"` + strings.Repeat("0", 64) + `","variant":"gpu","teams":64,"threads":128,"measured_us":1e3}`))
+	f.Add([]byte(`{"key":"xyz","measured_us":-1}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"key":"` + strings.Repeat("ab", 32) + `","measured_us":1,"extra":2}`))
+	f.Add([]byte(`{"key":"` + strings.Repeat("ab", 32) + `","measured_us":1}{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeFeedback(data)
+		if err != nil {
+			return
+		}
+		if len(req.Key) != 64 {
+			t.Fatalf("accepted key of length %d", len(req.Key))
+		}
+		for _, c := range req.Key {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				t.Fatalf("accepted non-hex key %q", req.Key)
+			}
+		}
+		if !(req.MeasuredUS > 0) || math.IsInf(req.MeasuredUS, 0) {
+			t.Fatalf("accepted measured_us %v", req.MeasuredUS)
+		}
+		if req.Teams < 0 || req.Threads < 0 {
+			t.Fatalf("accepted negative grid point %d/%d", req.Teams, req.Threads)
+		}
+		// A decoded request must survive a decode round-trip: encoding it
+		// back and decoding again yields the same value.
+		b, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		round, err := decodeFeedback(b)
+		if err != nil {
+			t.Fatalf("round-trip rejected: %v", err)
+		}
+		if round != req {
+			t.Fatalf("round-trip drift: %+v vs %+v", round, req)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -10,12 +11,12 @@ import (
 )
 
 // serveEndpoints are the per-endpoint metric label values, one per mux
-// route. /v1/stats reads the first eight back for its requests section;
+// route. /v1/stats reads most of them back for its requests section;
 // metrics and trace exist only in the exposition (adding them to the
 // stats JSON would break its byte-compatibility contract).
 var serveEndpoints = []string{
-	"advise", "predict", "healthz", "stats", "models", "ring", "replicate",
-	"jobs", "metrics", "trace",
+	"advise", "predict", "feedback", "healthz", "stats", "models", "ring",
+	"replicate", "jobs", "metrics", "trace",
 }
 
 // endpointInstruments are one endpoint's request counter and latency
@@ -42,8 +43,9 @@ type serveMetrics struct {
 	// operators alert on rate() over them, which needs a baseline.
 	shed map[admit.Reason]*obs.Counter
 
-	mu     sync.Mutex
-	errors map[string]*obs.Counter // endpoint "\x00" status class
+	mu       sync.Mutex
+	errors   map[string]*obs.Counter // endpoint "\x00" status class
+	perModel map[string]bool         // platform "\x00" model: series registered
 }
 
 // newServeMetrics builds the registry over a fully assembled server (its
@@ -55,6 +57,7 @@ func newServeMetrics(s *Server) *serveMetrics {
 		endpoints: map[string]*endpointInstruments{},
 		shed:      map[admit.Reason]*obs.Counter{},
 		errors:    map[string]*obs.Counter{},
+		perModel:  map[string]bool{},
 	}
 	for _, reason := range admit.Reasons() {
 		m.shed[reason] = m.reg.Counter("serve_shed_total",
@@ -150,27 +153,7 @@ func newServeMetrics(s *Server) *serveMetrics {
 
 	for machine, be := range s.backends {
 		for name, ms := range be.models {
-			ms, labels := ms, obs.L("platform", machine, "model", name)
-			m.reg.RegisterHistogram("serve_batcher_latency_seconds",
-				"Per-prediction latency through the micro-batcher (enqueue to result), by model.",
-				labels, ms.batcher.latency)
-			m.reg.RegisterHistogram("serve_batch_size",
-				"Samples per evaluated micro-batch, by model.", labels, ms.batcher.sizes)
-			m.reg.GaugeFunc("serve_batcher_queue_depth",
-				"Samples enqueued but not yet in a model evaluation, by model.", labels,
-				func() float64 { return float64(ms.batcher.queued.Load()) })
-			m.reg.CounterFunc("serve_batcher_batches_total",
-				"Batches evaluated, by model.", labels,
-				func() float64 { return float64(ms.batcher.Stats().Batches) })
-			m.reg.CounterFunc("serve_batcher_cancelled_total",
-				"Predictions abandoned by their context before evaluation, by model.", labels,
-				func() float64 { return float64(ms.batcher.cancelled.Load()) })
-			m.reg.CounterFunc("serve_model_advise_total",
-				"Advise responses computed or served, by model.", labels,
-				func() float64 { return float64(ms.advise.Load()) })
-			m.reg.CounterFunc("serve_model_predict_total",
-				"Predict responses computed or served, by model.", labels,
-				func() float64 { return float64(ms.predict.Load()) })
+			m.registerModel(machine, name, ms)
 		}
 	}
 
@@ -179,6 +162,114 @@ func newServeMetrics(s *Server) *serveMetrics {
 	m.reg.CounterFunc("serve_traces_slow_total", "Traces logged as slow requests.", nil,
 		func() float64 { return float64(s.tracer.SlowCount()) })
 	return m
+}
+
+// registerModel adds one model version's series. Safe to call for a
+// version adopted at runtime; a (platform, model) pair is registered at
+// most once per process — duplicate registrations would panic the registry.
+// A pruned-then-readopted name would keep scraping the first registration's
+// instruments; candidate names are timestamped, so names never recur.
+func (m *serveMetrics) registerModel(machine, name string, ms *modelState) {
+	key := machine + "\x00" + name
+	m.mu.Lock()
+	if m.perModel[key] {
+		m.mu.Unlock()
+		return
+	}
+	m.perModel[key] = true
+	m.mu.Unlock()
+
+	labels := obs.L("platform", machine, "model", name)
+	m.reg.RegisterHistogram("serve_batcher_latency_seconds",
+		"Per-prediction latency through the micro-batcher (enqueue to result), by model.",
+		labels, ms.batcher.latency)
+	m.reg.RegisterHistogram("serve_batch_size",
+		"Samples per evaluated micro-batch, by model.", labels, ms.batcher.sizes)
+	m.reg.GaugeFunc("serve_batcher_queue_depth",
+		"Samples enqueued but not yet in a model evaluation, by model.", labels,
+		func() float64 { return float64(ms.batcher.queued.Load()) })
+	m.reg.CounterFunc("serve_batcher_batches_total",
+		"Batches evaluated, by model.", labels,
+		func() float64 { return float64(ms.batcher.Stats().Batches) })
+	m.reg.CounterFunc("serve_batcher_cancelled_total",
+		"Predictions abandoned by their context before evaluation, by model.", labels,
+		func() float64 { return float64(ms.batcher.cancelled.Load()) })
+	m.reg.CounterFunc("serve_model_advise_total",
+		"Advise responses computed or served, by model.", labels,
+		func() float64 { return float64(ms.advise.Load()) })
+	m.reg.CounterFunc("serve_model_predict_total",
+		"Predict responses computed or served, by model.", labels,
+		func() float64 { return float64(ms.predict.Load()) })
+}
+
+// registerLifecycle adds the feedback→retrain→rollout series. Per-platform
+// and per-model rollout gauges are discovered at scrape time (CollectFunc):
+// candidates come and go with retrains.
+func (m *serveMetrics) registerLifecycle(lc *lifecycle) {
+	lc.outcomes = map[string]*obs.Counter{}
+	for _, oc := range feedbackOutcomes {
+		lc.outcomes[oc] = m.reg.Counter("serve_feedback_total",
+			"Feedback submissions, by outcome.", obs.L("outcome", oc))
+	}
+	m.reg.CounterFunc("serve_retrains_total",
+		"Background retrains started from accumulated feedback.", nil,
+		func() float64 { return float64(lc.retrains.Load()) })
+	m.reg.CounterFunc("serve_retrain_errors_total",
+		"Background retrains that failed.", nil,
+		func() float64 { return float64(lc.retrainErrors.Load()) })
+	m.reg.CounterFunc("serve_promotions_total",
+		"Candidates promoted to stable.", nil,
+		func() float64 { return float64(lc.promotions.Load()) })
+	m.reg.CounterFunc("serve_rollbacks_total",
+		"Candidates rolled back for regressing measured quality.", nil,
+		func() float64 { return float64(lc.rollbacks.Load()) })
+	m.reg.CounterFunc("serve_gc_removed_total",
+		"Superseded checkpoint versions pruned after promotion.", nil,
+		func() float64 { return float64(lc.gcRemoved.Load()) })
+	m.reg.CollectFunc("serve_rollout_stage",
+		"Rollout stage, by platform: 0 stable-only, 1 candidate taking traffic.", "gauge",
+		func(emit func(obs.Labels, float64)) {
+			lc.collectRollout(func(platform string, p *platRollout) {
+				stage := 0.0
+				if p.st.Candidate != "" {
+					stage = 1
+				}
+				emit(obs.L("platform", platform), stage)
+			})
+		})
+	m.reg.CollectFunc("serve_rollout_split",
+		"Percentage of unpinned traffic routed to the candidate, by platform.", "gauge",
+		func(emit func(obs.Labels, float64)) {
+			lc.collectRollout(func(platform string, p *platRollout) {
+				split := 0.0
+				if p.st.Candidate != "" {
+					split = p.st.SplitPct
+				}
+				emit(obs.L("platform", platform), split)
+			})
+		})
+	m.reg.CollectFunc("serve_model_rank_corr",
+		"Windowed Spearman rank correlation between predicted and measured runtimes, by model.", "gauge",
+		func(emit func(obs.Labels, float64)) {
+			lc.collectRollout(func(platform string, p *platRollout) {
+				for _, name := range sortedWindowNames(p.windows) {
+					corr, _, _ := p.windows[name].Snapshot()
+					if !math.IsNaN(corr) {
+						emit(obs.L("platform", platform, "model", name), corr)
+					}
+				}
+			})
+		})
+	m.reg.CollectFunc("serve_model_feedback_pairs",
+		"Measured (predicted, measured) pairs in the quality window, by model.", "gauge",
+		func(emit func(obs.Labels, float64)) {
+			lc.collectRollout(func(platform string, p *platRollout) {
+				for _, name := range sortedWindowNames(p.windows) {
+					_, n, _ := p.windows[name].Snapshot()
+					emit(obs.L("platform", platform, "model", name), float64(n))
+				}
+			})
+		})
 }
 
 // registerCluster adds the cluster-mode series. Per-peer forward counters

@@ -92,6 +92,47 @@ type Options struct {
 	// Logger receives slow-trace and per-request debug records (default
 	// slog.Default()).
 	Logger *slog.Logger
+
+	// FeedbackDir enables the feedback→retrain→rollout lifecycle: POST
+	// /v1/feedback accepts measured runtimes and appends them to per-platform
+	// logs under this directory. Empty disables the loop (the endpoint then
+	// answers 409).
+	FeedbackDir string
+	// RegistryRoot is the checkpoint directory retrains write candidates to
+	// and rollout state persists under (normally the -model-dir the server
+	// booted from). Empty keeps rollout state in memory and disables
+	// retraining and GC.
+	RegistryRoot string
+	// RolloutSplit is the percentage of unpinned traffic a fresh candidate
+	// takes (default 10).
+	RolloutSplit float64
+	// RetrainAfter is how many accepted measurements a platform accumulates
+	// between retrains (default 100; negative disables auto-retrain).
+	RetrainAfter int
+	// RetrainEpochs bounds each incremental retrain (0 = the trainer's
+	// incremental default).
+	RetrainEpochs int
+	// QualityWindow is the per-model ring of (predicted, measured) pairs the
+	// rank correlation is computed over (default 512).
+	QualityWindow int
+	// MinQualitySamples gates promote/rollback decisions until both windows
+	// hold this many pairs (0 = registry default 30).
+	MinQualitySamples int
+	// PromoteAfter / RollbackAfter are the consecutive-evaluation hysteresis
+	// thresholds (0 = registry defaults, 3 each).
+	PromoteAfter  int
+	RollbackAfter int
+	// PromoteMargin / RollbackMargin are the rank-correlation margins around
+	// the stable's quality (0 = registry defaults 0.02 / 0.10).
+	PromoteMargin  float64
+	RollbackMargin float64
+	// GCKeep bounds how many superseded checkpoint versions survive a
+	// promotion beyond the protected set (stable, candidate, default alias):
+	// 0 defaults to 2, -1 keeps none, any other negative disables GC.
+	GCKeep int
+	// FeedbackJournal bounds the journal of recently served responses that
+	// feedback submissions are validated against (default 4096).
+	FeedbackJournal int
 }
 
 func (o Options) withDefaults() Options {
@@ -116,13 +157,40 @@ func (o Options) withDefaults() Options {
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
+	if o.RolloutSplit <= 0 {
+		o.RolloutSplit = 10
+	}
+	if o.RolloutSplit > 100 {
+		o.RolloutSplit = 100
+	}
+	if o.RetrainAfter == 0 {
+		o.RetrainAfter = 100
+	}
+	if o.QualityWindow <= 0 {
+		o.QualityWindow = 512
+	}
+	switch {
+	case o.GCKeep == 0:
+		o.GCKeep = 2
+	case o.GCKeep == -1:
+		o.GCKeep = 0
+	case o.GCKeep < -1:
+		o.GCKeep = -1 // registry.GCPolicy: negative disables
+	}
+	if o.FeedbackJournal <= 0 {
+		o.FeedbackJournal = 4096
+	}
 	return o
 }
 
 // backendState is one served platform: its machine profile and the named
-// models serving it.
+// models serving it. mu guards models and defaultName — both mutate at
+// runtime once the lifecycle adopts, promotes or prunes versions. The
+// backends map itself is immutable after NewServer.
 type backendState struct {
-	machine     hw.Machine
+	machine hw.Machine
+
+	mu          sync.RWMutex
 	models      map[string]*modelState
 	defaultName string
 }
@@ -167,6 +235,15 @@ type Server struct {
 	metrics *serveMetrics // every /metrics series; /v1/stats reads the same instruments
 	tracer  *obs.Tracer   // request traces: slow logging + the /v1/trace ring
 	logger  *slog.Logger
+
+	// lifecycle is non-nil when Options.FeedbackDir enabled the
+	// feedback→retrain→rollout loop.
+	lifecycle *lifecycle
+	// retired holds batchers of versions unregistered at runtime (pruned by
+	// GC): requests that already resolved them must still finish, so they
+	// close only in Close.
+	retiredMu sync.Mutex
+	retired   []*Batcher
 
 	// cluster is non-nil once EnableCluster put the server into a
 	// consistent-hash sharded tier; nil means every request serves locally.
@@ -232,17 +309,7 @@ func NewServer(backends []Backend, opts Options) (*Server, error) {
 		if b.Info != nil {
 			info = *b.Info
 		}
-		batcher := NewBatcher(b.Model, opts.MaxBatch, opts.BatchWait)
-		adv := advisor.New(batcher, b.Prep, b.Machine)
-		adv.SetLevel(info.Level)
-		adv.SetWorkers(opts.GridWorkers)
-		adv.SetEncodeCache(encodeCacheAdapter{s.encodeCache})
-		be.models[name] = &modelState{
-			name:    name,
-			info:    info,
-			advisor: adv,
-			batcher: batcher,
-		}
+		be.models[name] = s.newModelState(b.Machine, name, b.Model, b.Prep, info)
 		if b.Default {
 			if be.defaultName != "" && be.defaultName != name {
 				return nil, fmt.Errorf("serve: platform %q declares two default models (%s, %s)",
@@ -284,6 +351,7 @@ func NewServer(backends []Backend, opts Options) (*Server, error) {
 	// get request/latency/error accounting.
 	s.mux.HandleFunc("/v1/advise", s.instrument("advise", true, s.handleAdvise))
 	s.mux.HandleFunc("/v1/predict", s.instrument("predict", true, s.handlePredict))
+	s.mux.HandleFunc("/v1/feedback", s.instrument("feedback", true, s.handleFeedback))
 	s.mux.HandleFunc("/v1/healthz", s.instrument("healthz", false, s.handleHealthz))
 	s.mux.HandleFunc("/v1/stats", s.instrument("stats", false, s.handleStats))
 	s.mux.HandleFunc("/v1/models", s.instrument("models", false, s.handleModels))
@@ -292,11 +360,114 @@ func NewServer(backends []Backend, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/trace", s.instrument("trace", false, s.handleTrace))
 	s.mux.HandleFunc("/v1/jobs/", s.instrument("jobs", false, s.handleJobs))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", false, s.handleMetrics))
+	if err := s.initLifecycle(); err != nil {
+		s.Close()
+		return nil, err
+	}
 	return s, nil
+}
+
+// newModelState wires one model version into the serving plumbing: its
+// micro-batcher, the advisor on top, and the shared encode cache.
+func (s *Server) newModelState(machine hw.Machine, name string, model BatchPredictor, prep *dataset.Prepared, info ModelInfo) *modelState {
+	batcher := NewBatcher(model, s.opts.MaxBatch, s.opts.BatchWait)
+	adv := advisor.New(batcher, prep, machine)
+	adv.SetLevel(info.Level)
+	adv.SetWorkers(s.opts.GridWorkers)
+	adv.SetEncodeCache(encodeCacheAdapter{s.encodeCache})
+	return &modelState{name: name, info: info, advisor: adv, batcher: batcher}
+}
+
+// addModel registers a new model version on a live server (candidate
+// adoption). The version name must be fresh and not an alias.
+func (s *Server) addModel(platform, name string, model BatchPredictor, prep *dataset.Prepared, info ModelInfo) (*modelState, error) {
+	be, err := s.resolveBackend(platform)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" || name == "default" {
+		return nil, fmt.Errorf("serve: invalid live model name %q", name)
+	}
+	ms := s.newModelState(be.machine, name, model, prep, info)
+	be.mu.Lock()
+	defer be.mu.Unlock()
+	if _, dup := be.models[name]; dup {
+		ms.batcher.Close()
+		return nil, fmt.Errorf("serve: model %s/%s already registered", platform, name)
+	}
+	be.models[name] = ms
+	return ms, nil
+}
+
+// removeModel unregisters a version (checkpoint pruned by GC). The
+// platform's default is never removed; the retired batcher closes in Close
+// so in-flight requests that already resolved the version still finish.
+func (s *Server) removeModel(platform, name string) {
+	be, ok := s.backends[platform]
+	if !ok {
+		return
+	}
+	be.mu.Lock()
+	ms, ok := be.models[name]
+	if !ok || name == be.defaultName {
+		be.mu.Unlock()
+		return
+	}
+	delete(be.models, name)
+	be.mu.Unlock()
+	s.retiredMu.Lock()
+	s.retired = append(s.retired, ms.batcher)
+	s.retiredMu.Unlock()
+}
+
+// setDefault re-points a platform's default alias (promotion, restart
+// restore). Reports whether the named version exists.
+func (s *Server) setDefault(platform, name string) bool {
+	be, ok := s.backends[platform]
+	if !ok {
+		return false
+	}
+	be.mu.Lock()
+	defer be.mu.Unlock()
+	if _, ok := be.models[name]; !ok {
+		return false
+	}
+	be.defaultName = name
+	return true
+}
+
+// hasModel reports whether a platform serves the named version.
+func (s *Server) hasModel(platform, name string) bool {
+	be, ok := s.backends[platform]
+	if !ok {
+		return false
+	}
+	be.mu.RLock()
+	defer be.mu.RUnlock()
+	_, ok = be.models[name]
+	return ok
+}
+
+// defaultModel returns a platform's current default version name.
+func (s *Server) defaultModel(platform string) string {
+	be, ok := s.backends[platform]
+	if !ok {
+		return ""
+	}
+	be.mu.RLock()
+	defer be.mu.RUnlock()
+	return be.defaultName
 }
 
 // modelNames lists a platform's model versions, sorted.
 func (be *backendState) modelNames() []string {
+	be.mu.RLock()
+	defer be.mu.RUnlock()
+	return be.modelNamesLocked()
+}
+
+// modelNamesLocked is modelNames for callers already holding be.mu.
+func (be *backendState) modelNamesLocked() []string {
 	names := make([]string, 0, len(be.models))
 	for name := range be.models {
 		names = append(names, name)
@@ -315,11 +486,29 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Close() {
 	s.jobsCancel()
 	s.jobsWG.Wait()
+	// Background retrains register new batchers; wait them out before the
+	// batcher sweep so nothing is created after it.
+	if s.lifecycle != nil {
+		s.lifecycle.wg.Wait()
+	}
 	s.jobs.Close()
 	for _, be := range s.backends {
+		be.mu.RLock()
+		batchers := make([]*Batcher, 0, len(be.models))
 		for _, ms := range be.models {
-			ms.batcher.Close()
+			batchers = append(batchers, ms.batcher)
 		}
+		be.mu.RUnlock()
+		for _, b := range batchers {
+			b.Close()
+		}
+	}
+	s.retiredMu.Lock()
+	retired := s.retired
+	s.retired = nil
+	s.retiredMu.Unlock()
+	for _, b := range retired {
+		b.Close()
 	}
 	if s.cluster != nil {
 		s.cluster.fwd.Close()
@@ -433,9 +622,12 @@ type Recommendation struct {
 // peer the client contacted, the request was forwarded to the key's owner
 // on the consistent-hash ring.
 type AdviseResponse struct {
-	Machine         string           `json:"machine"`
-	Model           string           `json:"model"`
-	Kernel          string           `json:"kernel"`
+	Machine string `json:"machine"`
+	Model   string `json:"model"`
+	Kernel  string `json:"kernel"`
+	// Key is the content-addressed request hash; POST /v1/feedback reports
+	// measured runtimes against it.
+	Key             string           `json:"key,omitempty"`
 	Cached          bool             `json:"cached"`
 	Coalesced       bool             `json:"coalesced,omitempty"`
 	ServedBy        string           `json:"served_by,omitempty"`
@@ -459,9 +651,12 @@ type PredictRequest struct {
 // AdviseResponse: the cluster peer that answered, empty outside cluster
 // mode.
 type PredictResponse struct {
-	Machine     string  `json:"machine"`
-	Model       string  `json:"model"`
-	Kernel      string  `json:"kernel"`
+	Machine string `json:"machine"`
+	Model   string `json:"model"`
+	Kernel  string `json:"kernel"`
+	// Key is the content-addressed request hash; POST /v1/feedback reports
+	// measured runtimes against it.
+	Key         string  `json:"key,omitempty"`
 	Variant     string  `json:"variant"`
 	Teams       int     `json:"teams,omitempty"`
 	Threads     int     `json:"threads"`
@@ -500,23 +695,42 @@ func (s *Server) resolveBackend(machine string) (*backendState, error) {
 	return be, nil
 }
 
-// resolveModel picks a machine's model version. An empty or "default" name
-// follows the platform's default alias; responses and cache keys carry the
-// resolved name, so the alias and its target share cache entries.
-func (s *Server) resolveModel(machine, model string) (*backendState, *modelState, error) {
-	be, err := s.resolveBackend(machine)
-	if err != nil {
-		return nil, nil, err
+// pickModel resolves the model version serving one request. An explicit
+// version name is honored verbatim; an empty or "default" name follows the
+// platform's default alias — unless a staged rollout is live, in which
+// case the deterministic A/B split over the request's route key decides,
+// so a fixed request always lands on the same version at a given split
+// (across restarts and peers alike). Responses and cache keys carry the
+// resolved name, so an alias and its target share cache entries.
+func (s *Server) pickModel(be *backendState, requested, routeKey string) (*modelState, error) {
+	name := requested
+	routed := false
+	if name == "" || name == "default" {
+		name = ""
+		if s.lifecycle != nil {
+			name = s.lifecycle.routedModel(be.machine.Name, routeKey)
+			routed = name != ""
+		}
 	}
-	if model == "" || model == "default" {
-		model = be.defaultName
+	be.mu.RLock()
+	defer be.mu.RUnlock()
+	if name == "" {
+		name = be.defaultName
 	}
-	ms, ok := be.models[model]
+	ms, ok := be.models[name]
 	if !ok {
-		return nil, nil, fmt.Errorf("unknown model %q for machine %q (serving: %s)",
-			model, machine, strings.Join(be.modelNames(), ", "))
+		if routed {
+			// The routed version vanished between the routing decision and
+			// this lookup (a rollback or GC racing the request): the stable
+			// default serves it rather than failing it.
+			if ms, ok = be.models[be.defaultName]; ok {
+				return ms, nil
+			}
+		}
+		return nil, fmt.Errorf("unknown model %q for machine %q (serving: %s)",
+			name, be.machine.Name, strings.Join(be.modelNamesLocked(), ", "))
 	}
-	return be, ms, nil
+	return ms, nil
 }
 
 // resolveKernel materializes the requested kernel template.
@@ -572,7 +786,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dec.End()
-	be, ms, err := s.resolveModel(req.Machine, req.Model)
+	be, err := s.resolveBackend(req.Machine)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, "%v", err)
 		return
@@ -583,6 +797,17 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	space := req.Space.space()
+
+	// Route key: the request's content *without* the model version — A/B
+	// routing assigns a fixed request to a version, so the version cannot be
+	// part of the identity being routed.
+	routeKey := Key("route", be.machine.Name, kernelKey(k), advisor.BindingsKey(req.Bindings),
+		fmtInts(space.CPUThreads), fmtInts(space.GPUTeams), fmtInts(space.GPUThreads))
+	ms, err := s.pickModel(be, req.Model, routeKey)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
 
 	// Content-addressed response key: everything the ranking depends on,
 	// including the resolved model version (two versions of one platform
@@ -628,6 +853,9 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	}
 	ms.advise.Add(1)
 	ms.touch()
+	if s.lifecycle != nil {
+		s.lifecycle.noteAdvise(p, recs)
+	}
 	resp := s.renderAdvise(p, recs, cached, coalesced)
 	resp.ElapsedMS = float64(time.Since(startReq).Microseconds()) / 1000
 	s.writeJSON(w, http.StatusOK, resp)
@@ -739,6 +967,7 @@ func (s *Server) renderAdvise(p adviseParams, recs []advisor.Recommendation, cac
 		Machine:   p.be.machine.Name,
 		Model:     p.ms.name,
 		Kernel:    p.k.Name,
+		Key:       p.key,
 		Cached:    cached,
 		Coalesced: coalesced,
 		ServedBy:  s.servedBy(),
@@ -799,7 +1028,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dec.End()
-	be, ms, err := s.resolveModel(req.Machine, req.Model)
+	be, err := s.resolveBackend(req.Machine)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, "%v", err)
 		return
@@ -823,6 +1052,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "threads must be positive")
 		return
 	}
+	// Model-less route key, as in handleAdvise: the A/B split must route the
+	// request's content, not the version it resolves to.
+	routeKey := Key("route", be.machine.Name, kernelKey(k), req.Variant,
+		fmt.Sprintf("g%d_t%d", req.Teams, req.Threads), advisor.BindingsKey(req.Bindings))
+	ms, err := s.pickModel(be, req.Model, routeKey)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
 	ctx, cancel, err := requestContext(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "%v", err)
@@ -833,8 +1071,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	key := Key("predict", be.machine.Name, ms.name, kernelKey(k), req.Variant,
 		fmt.Sprintf("g%d_t%d", req.Teams, req.Threads), advisor.BindingsKey(req.Bindings))
 	resp := PredictResponse{
-		Machine: be.machine.Name, Model: ms.name, Kernel: k.Name, Variant: req.Variant,
-		Teams: req.Teams, Threads: req.Threads, ServedBy: s.servedBy(),
+		Machine: be.machine.Name, Model: ms.name, Kernel: k.Name, Key: key,
+		Variant: req.Variant, Teams: req.Teams, Threads: req.Threads, ServedBy: s.servedBy(),
 	}
 	lookup := tr.StartSpan("cache_lookup")
 	v, hit := s.adviseCache.Get(key)
@@ -847,6 +1085,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			ms.touch()
 			resp.PredictedUS = us
 			resp.Cached = true
+			if s.lifecycle != nil {
+				s.lifecycle.notePredict(key, be.machine.Name, ms.name, k, req, us)
+			}
 			s.writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -919,6 +1160,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	ms.predict.Add(1)
 	ms.touch()
 	resp.PredictedUS = v.(float64)
+	if s.lifecycle != nil {
+		s.lifecycle.notePredict(key, be.machine.Name, ms.name, k, req, resp.PredictedUS)
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -943,7 +1187,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.snapshot())
 }
 
-// ModelDesc is one entry of the /v1/models listing.
+// ModelDesc is one entry of the /v1/models listing. The rollout fields are
+// only set while the feedback lifecycle is enabled: Role marks the
+// platform's stable or candidate, RolloutSplit the percentage of unpinned
+// traffic the version takes during a staged rollout, and RankCorr /
+// FeedbackPairs its online measured quality.
 type ModelDesc struct {
 	Platform  string  `json:"platform"`
 	Name      string  `json:"name"`
@@ -956,6 +1204,11 @@ type ModelDesc struct {
 	Epochs    int     `json:"epochs,omitempty"`
 	ValRMSE   float64 `json:"val_rmse,omitempty"`
 	CreatedAt string  `json:"created_at,omitempty"` // RFC 3339
+
+	Role          string   `json:"role,omitempty"` // "stable" | "candidate"
+	RolloutSplit  float64  `json:"rollout_split,omitempty"`
+	RankCorr      *float64 `json:"rank_corr,omitempty"`
+	FeedbackPairs int      `json:"feedback_pairs,omitempty"`
 }
 
 // ModelsResponse is the /v1/models payload.
@@ -969,7 +1222,9 @@ func (s *Server) Models() ModelsResponse {
 	var resp ModelsResponse
 	for _, machine := range s.machineNames() {
 		be := s.backends[machine]
-		for _, name := range be.modelNames() {
+		be.mu.RLock()
+		var descs []ModelDesc
+		for _, name := range be.modelNamesLocked() {
 			ms := be.models[name]
 			d := ModelDesc{
 				Platform: machine,
@@ -986,8 +1241,17 @@ func (s *Server) Models() ModelsResponse {
 			if !ms.info.CreatedAt.IsZero() {
 				d.CreatedAt = ms.info.CreatedAt.UTC().Format(time.RFC3339)
 			}
-			resp.Models = append(resp.Models, d)
+			descs = append(descs, d)
 		}
+		be.mu.RUnlock()
+		// Rollout annotations happen outside be.mu: the lifecycle lock
+		// orders strictly before the backend lock.
+		if s.lifecycle != nil {
+			for i := range descs {
+				s.lifecycle.annotate(machine, descs[i].Name, &descs[i])
+			}
+		}
+		resp.Models = append(resp.Models, descs...)
 	}
 	return resp
 }

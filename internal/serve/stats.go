@@ -40,8 +40,11 @@ type Stats struct {
 		Replicate uint64 `json:"replicate,omitempty"`
 		// Jobs counts GET /v1/jobs/{id} polls; omitted at zero so tiers
 		// that never use the async path keep their exact prior payload.
-		Jobs   uint64 `json:"jobs,omitempty"`
-		Errors uint64 `json:"errors"`
+		Jobs uint64 `json:"jobs,omitempty"`
+		// Feedback counts POST /v1/feedback arrivals; omitted at zero so
+		// tiers without the lifecycle keep their exact prior payload.
+		Feedback uint64 `json:"feedback,omitempty"`
+		Errors   uint64 `json:"errors"`
 	} `json:"requests"`
 
 	AdviseCacheHits uint64 `json:"advise_cache_hits"`
@@ -67,6 +70,11 @@ type Stats struct {
 	// fractions, per-peer forward/fallback counters); nil outside cluster
 	// mode. GET /v1/ring serves the same payload on its own.
 	Cluster *RingResponse `json:"cluster,omitempty"`
+
+	// Lifecycle is the feedback→retrain→rollout view (accepted
+	// measurements, per-platform rollout stage, per-model measured
+	// quality); nil when the loop is disabled.
+	Lifecycle *LifecycleStats `json:"lifecycle,omitempty"`
 }
 
 // snapshot assembles the stats payload from the server's live components.
@@ -81,6 +89,7 @@ func (s *Server) snapshot() Stats {
 	st.Requests.Ring = s.metrics.requests("ring")
 	st.Requests.Replicate = s.metrics.requests("replicate")
 	st.Requests.Jobs = s.metrics.requests("jobs")
+	st.Requests.Feedback = s.metrics.requests("feedback")
 	st.Requests.Errors = s.metrics.totalErrors()
 	st.AdviseCacheHits = s.metrics.adviseHits.Value()
 	st.Coalesced = s.metrics.coalesced.Value()
@@ -88,7 +97,8 @@ func (s *Server) snapshot() Stats {
 	st.EncodeCache = s.encodeCache.Stats()
 	for _, machine := range st.Machines {
 		be := s.backends[machine]
-		for _, name := range be.modelNames() {
+		be.mu.RLock()
+		for _, name := range be.modelNamesLocked() {
 			ms := be.models[name]
 			st.Models = append(st.Models, ModelStats{
 				Platform:     machine,
@@ -100,6 +110,7 @@ func (s *Server) snapshot() Stats {
 				Batcher:      ms.batcher.Stats(),
 			})
 		}
+		be.mu.RUnlock()
 	}
 	st.Pool = s.pool.Stats()
 	st.Admit = s.admit.Stats()
@@ -111,6 +122,9 @@ func (s *Server) snapshot() Stats {
 	if s.cluster != nil {
 		ring := s.Ring()
 		st.Cluster = &ring
+	}
+	if s.lifecycle != nil {
+		st.Lifecycle = s.lifecycle.stats()
 	}
 	return st
 }
