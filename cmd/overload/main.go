@@ -7,11 +7,15 @@
 // The generator validates every response against the published overload
 // surface — sheds must be 503 with an integral Retry-After >= 1 and a
 // JSON error body, everything else must be 200 — and aggregates per-class
-// latency quantiles. Assertions are opt-in flags so the same binary works
-// as a chaos probe (just observe) or a CI gate (fail the build):
+// latency quantiles and goodput (successful responses per second). Bulk
+// workers are polite clients: a shed's Retry-After is honored, capped at
+// -backoff-cap so a server asking for long waits cannot idle the probe
+// (0 disables backoff and hammers through sheds, the old behaviour).
+// Assertions are opt-in flags so the same binary works as a chaos probe
+// (just observe) or a CI gate (fail the build):
 //
 //	overload -target http://host:8080 -duration 10s \
-//	         -bulk 16 -interactive 2 -deadline 2s \
+//	         -bulk 16 -interactive 2 -deadline 2s -backoff-cap 1s \
 //	         -require-shed -max-interactive-p99 500ms -out report.json
 //
 // Exit codes: 0 pass, 1 contract violation or failed assertion, 2 usage
@@ -61,14 +65,18 @@ type spaceSpec struct {
 
 // classReport is the aggregated outcome of one request class.
 type classReport struct {
-	Requests int     `json:"requests"`
-	OK       int     `json:"ok"`
-	Shed     int     `json:"shed"`
-	Other    int     `json:"other"`
-	P50MS    float64 `json:"p50_ms"`
-	P90MS    float64 `json:"p90_ms"`
-	P99MS    float64 `json:"p99_ms"`
-	MaxMS    float64 `json:"max_ms"`
+	Requests int `json:"requests"`
+	OK       int `json:"ok"`
+	Shed     int `json:"shed"`
+	Other    int `json:"other"`
+	// GoodputRPS is successful (200) responses per second of wall clock —
+	// the number that matters under overload: sheds and retries are free,
+	// completed work is not.
+	GoodputRPS float64 `json:"goodput_rps"`
+	P50MS      float64 `json:"p50_ms"`
+	P90MS      float64 `json:"p90_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
 }
 
 // report is the JSON document written by -out and summarized on stdout.
@@ -83,9 +91,10 @@ type report struct {
 
 // sample is one completed request as a worker saw it.
 type sample struct {
-	status    int
-	elapsed   time.Duration
-	violation string // "" = contract held
+	status     int
+	elapsed    time.Duration
+	retryAfter time.Duration // from a valid shed's Retry-After; 0 otherwise
+	violation  string        // "" = contract held
 }
 
 func run(args []string, w io.Writer) (int, error) {
@@ -99,6 +108,7 @@ func run(args []string, w io.Writer) (int, error) {
 	pace := fs.Duration("interactive-pace", 10*time.Millisecond, "gap between interactive requests per worker")
 	kernel := fs.String("kernel", "matmul", "kernel name sent in advise requests")
 	machine := fs.String("machine", "NVIDIA V100 (GPU)", "machine name sent in advise requests")
+	backoffCap := fs.Duration("backoff-cap", time.Second, "cap on honoring a shed's Retry-After before the next bulk request (0 = no backoff)")
 	requireShed := fs.Bool("require-shed", false, "fail unless the bulk class saw at least one 503 shed")
 	maxP99 := fs.Duration("max-interactive-p99", 0, "fail if the interactive p99 exceeds this (0 = no gate)")
 	outPath := fs.String("out", "", "also write the JSON report to this file")
@@ -146,7 +156,23 @@ func run(args []string, w io.Writer) (int, error) {
 					Bindings: map[string]float64{"n": float64(1000 + seq.Add(1))},
 					Space:    &spaceSpec{GPUTeams: []int{64}, GPUThreads: []int{128}},
 				}
-				bulkSamples[i] = append(bulkSamples[i], doOne(client, *target, req, headers))
+				s := doOne(client, *target, req, headers)
+				bulkSamples[i] = append(bulkSamples[i], s)
+				// A shed is the server saying "come back later" — honor it
+				// (capped, and never past the test window) instead of
+				// hammering straight back into the queue it just shed from.
+				if s.retryAfter > 0 && *backoffCap > 0 {
+					wait := s.retryAfter
+					if wait > *backoffCap {
+						wait = *backoffCap
+					}
+					if until := time.Until(stop); wait > until {
+						wait = until
+					}
+					if wait > 0 {
+						time.Sleep(wait)
+					}
+				}
 			}
 		}(i)
 	}
@@ -167,8 +193,8 @@ func run(args []string, w io.Writer) (int, error) {
 	wg.Wait()
 
 	rep := report{Target: *target, DurationS: duration.Seconds()}
-	rep.Bulk = aggregate(flatten(bulkSamples), &rep.Violations)
-	rep.Interactive = aggregate(flatten(interSamples), &rep.Violations)
+	rep.Bulk = aggregate(flatten(bulkSamples), *duration, &rep.Violations)
+	rep.Interactive = aggregate(flatten(interSamples), *duration, &rep.Violations)
 	if body, err := get(client, *target+"/v1/stats"); err == nil && json.Valid(body) {
 		rep.ServerStats = body
 	}
@@ -214,6 +240,8 @@ func doOne(client *http.Client, target string, req adviseRequest, headers map[st
 	case status == http.StatusServiceUnavailable:
 		if v := checkShed(hdr, body); v != "" {
 			s.violation = v
+		} else if secs, err := strconv.Atoi(hdr.Get("Retry-After")); err == nil {
+			s.retryAfter = time.Duration(secs) * time.Second
 		}
 	case status != http.StatusOK:
 		s.violation = fmt.Sprintf("unexpected status %d", status)
@@ -279,9 +307,10 @@ func flatten(perWorker [][]sample) []sample {
 	return all
 }
 
-// aggregate folds a class's samples into counts and OK-latency quantiles,
-// appending at most a handful of distinct contract violations.
-func aggregate(samples []sample, violations *[]string) classReport {
+// aggregate folds a class's samples into counts, goodput over the load
+// window, and OK-latency quantiles, appending at most a handful of
+// distinct contract violations.
+func aggregate(samples []sample, window time.Duration, violations *[]string) classReport {
 	var rep classReport
 	var okMS []float64
 	seen := map[string]bool{}
@@ -300,6 +329,9 @@ func aggregate(samples []sample, violations *[]string) classReport {
 			seen[s.violation] = true
 			*violations = append(*violations, s.violation)
 		}
+	}
+	if window > 0 {
+		rep.GoodputRPS = float64(rep.OK) / window.Seconds()
 	}
 	sort.Float64s(okMS)
 	rep.P50MS = quantile(okMS, 0.50)

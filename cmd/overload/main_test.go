@@ -75,6 +75,10 @@ func TestRunAgainstSheddingServer(t *testing.T) {
 	if rep.Interactive.P99MS <= 0 || rep.Interactive.P99MS < rep.Interactive.P50MS {
 		t.Errorf("quantiles p50=%v p99=%v", rep.Interactive.P50MS, rep.Interactive.P99MS)
 	}
+	if rep.Bulk.GoodputRPS <= 0 || rep.Interactive.GoodputRPS <= 0 {
+		t.Errorf("goodput bulk=%v interactive=%v, want > 0 for classes with OKs",
+			rep.Bulk.GoodputRPS, rep.Interactive.GoodputRPS)
+	}
 	if len(rep.Violations) != 0 {
 		t.Errorf("violations on a compliant server: %v", rep.Violations)
 	}
@@ -129,6 +133,53 @@ func TestRunRequireShedFails(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "required at least one bulk shed") {
 		t.Errorf("report missing the require-shed violation:\n%s", buf.String())
+	}
+}
+
+// TestBulkHonorsRetryAfter: a polite bulk worker sleeps out a shed's
+// Retry-After (capped at -backoff-cap) instead of hammering straight back
+// — against a server that always sheds, one worker completes only a
+// handful of requests per window, not hundreds.
+func TestBulkHonorsRetryAfter(t *testing.T) {
+	var requests atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/advise", func(w http.ResponseWriter, r *http.Request) {
+		// The warm-up (interactive-shaped: no deadline header either, so
+		// key it off the body's fixed binding) must succeed once.
+		if requests.Add(1) == 1 {
+			json.NewEncoder(w).Encode(map[string]any{"recommendations": []any{}})
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"error": "overloaded"})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+
+	var buf bytes.Buffer
+	code, _ := run([]string{
+		"-target", srv.URL, "-duration", "300ms", "-bulk", "1", "-interactive", "0",
+		"-backoff-cap", "100ms",
+	}, &buf)
+	if code != 0 {
+		t.Fatalf("run = %d\n%s", code, buf.String())
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	// 300ms window / 100ms capped backoff ≈ 3-4 requests; without backoff a
+	// local stub absorbs hundreds. Allow generous slack for slow CI.
+	if rep.Bulk.Requests > 20 {
+		t.Errorf("bulk sent %d requests into a shedding server, backoff not honored", rep.Bulk.Requests)
+	}
+	if rep.Bulk.Shed == 0 {
+		t.Error("stub never shed")
+	}
+	if rep.Bulk.GoodputRPS != 0 {
+		t.Errorf("goodput = %v for a class with no OKs, want 0", rep.Bulk.GoodputRPS)
 	}
 }
 

@@ -13,8 +13,19 @@
 // to the primary owner, evaluated entries are written through to the
 // replicas, and an unreachable primary fails over to its replicas — so one
 // peer death costs a forwarding detour, never recomputation — before
-// degrading to local serving. Every peer must be started with the same
-// -peers list, the same -replication, and the same checkpoints.
+// degrading to local serving. Membership is elastic: a new peer starts
+// with -self and -seed pointing at any live member and joins at runtime
+// (no restarts, no synchronized -peers lists); every member gossips a
+// versioned membership view each -heartbeat, evicts peers silent past
+// -evict-after, and swaps the ring under a new epoch on every change. A
+// leaving peer drains first — POST /v1/cluster/leave or plain SIGTERM
+// streams its owned cache entries to the new owners (bounded by
+// -drain-timeout) before the process exits — and a background
+// anti-entropy sweep every -anti-entropy diffs local warmth against ring
+// ownership and refills missing replica entries from peers, so a
+// rejoined or freshly added peer converges to full warmth without
+// client traffic. All peers must serve the same checkpoints and agree
+// on -replication.
 //
 // With -feedback-dir the serving loop closes (docs/OPERATIONS.md, "Staged
 // Rollouts"): POST /v1/feedback accepts measured runtimes for served
@@ -39,7 +50,9 @@
 //	      [-retrain-epochs N] [-quality-window 512] [-quality-min 30]
 //	      [-promote-after 3] [-rollback-after 3] [-gc-keep 2]
 //	      [-self http://host:8080 -peers http://host:8080,http://host2:8080]
-//	      [-replication 2]
+//	      [-seed http://host:8080] [-replication 2]
+//	      [-heartbeat 1s] [-suspect-after 3s] [-evict-after 10s]
+//	      [-drain-timeout 30s] [-anti-entropy 30s]
 //	      [-log-level info] [-trace-slow 250ms] [-trace-ring 128]
 //	      [-pprof-addr 127.0.0.1:6060]
 //
@@ -57,6 +70,11 @@
 //	GET  /v1/trace      recent request traces (?id= for one, ?n= to bound)
 //	GET  /metrics       Prometheus text exposition of every serve_* series
 //	POST /v1/replicate  peer-internal cache write-through (cluster mode)
+//	POST /v1/cluster/join   admit a new peer into the ring (cluster mode)
+//	POST /v1/cluster/gossip peer-internal heartbeat view exchange
+//	POST /v1/cluster/leave  drain this peer's keys to their new owners
+//	GET  /v1/cluster/keys   peer-internal cache key list (anti-entropy)
+//	GET  /v1/cluster/entry  peer-internal single-entry fetch (?key=K)
 //
 // Overload behaviour (docs/OPERATIONS.md, "Overload & Admission Control"):
 // requests beyond the pool queue per client under deficit-round-robin
@@ -73,9 +91,12 @@
 // -pprof-addr mounts net/http/pprof on a separate listener so profiling
 // never shares the serving port.
 //
-// On SIGINT/SIGTERM the server stops accepting requests, drains in-flight
-// batches, flushes the cache snapshot, and exits. docs/API.md documents the
-// wire format; docs/OPERATIONS.md covers running it.
+// On SIGINT/SIGTERM the server first drains its cluster role (tombstones
+// itself in the gossip view and streams owned cache entries to the new
+// owners, bounded by -drain-timeout; a no-op outside cluster mode or after
+// an explicit /v1/cluster/leave), then stops accepting requests, drains
+// in-flight batches, flushes the cache snapshot, and exits. docs/API.md
+// documents the wire format; docs/OPERATIONS.md covers running it.
 package main
 
 import (
@@ -115,6 +136,8 @@ type serveConfig struct {
 	snapshotEvery time.Duration // periodic snapshot interval; <= 0 disables
 	pprofAddr     string        // "" = no pprof listener
 	logger        *slog.Logger  // process-wide structured logger
+	cluster       bool          // cluster mode: drain membership on shutdown
+	drainTimeout  time.Duration // bound on the departure drain
 }
 
 func run(args []string, w io.Writer) error {
@@ -191,6 +214,23 @@ func run(args []string, w io.Writer) error {
 	case <-ctx.Done():
 	}
 	logger.Info("shutting down")
+
+	// Cluster departure comes first, while the listener still answers: the
+	// drain tombstones this peer in the gossip view and streams its owned
+	// cache entries to the new owners, so the tier loses no warmth when
+	// this process exits. Idempotent — an operator who already POSTed
+	// /v1/cluster/leave gets a no-op here.
+	if cfg.cluster {
+		drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		report := srv.DrainCluster(drainCtx)
+		cancel()
+		if !report.AlreadyDraining {
+			logger.Info("cluster drain complete",
+				"owned", report.OwnedKeys, "streamed", report.Streamed,
+				"batches", report.Batches, "errors", report.Errors,
+				"elapsed_ms", report.ElapsedMS)
+		}
+	}
 
 	// Stop accepting and let in-flight requests finish, then drain the
 	// batchers (srv.Close) before the final snapshot so every completed
@@ -278,10 +318,16 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 	rollbackAfter := fs.Int("rollback-after", 0, "consecutive regressing evaluations before a candidate rolls back (0 = default 3)")
 	gcKeep := fs.Int("gc-keep", 0, "superseded checkpoint versions kept after a promotion (0 = default 2, -1 = keep none, -2 = disable GC)")
 	self := fs.String("self", "", "cluster mode: this process's base URL as peers reach it (http://host:port)")
-	peersFlag := fs.String("peers", "", "cluster mode: comma-separated base URLs of every peer (including -self)")
+	peersFlag := fs.String("peers", "", "cluster mode: comma-separated base URLs of the initial members (including -self)")
+	seedFlag := fs.String("seed", "", "cluster mode: comma-separated URLs of live members to join through at startup (alternative to -peers)")
 	vnodes := fs.Int("ring-vnodes", 0, "cluster mode: virtual nodes per peer on the hash ring (0 = default)")
 	forwardTimeout := fs.Duration("forward-timeout", 0, "cluster mode: per-forwarded-request timeout (0 = default)")
 	replication := fs.Int("replication", 2, "cluster mode: ring successors owning each key (1 = single-owner, no replication; clamped to cluster size)")
+	heartbeat := fs.Duration("heartbeat", 0, "cluster mode: membership gossip interval (0 = default 1s)")
+	suspectAfter := fs.Duration("suspect-after", 0, "cluster mode: mark a silent member suspect after this long (0 = 3x heartbeat)")
+	evictAfter := fs.Duration("evict-after", 0, "cluster mode: declare a silent member dead after this long (0 = 10x heartbeat)")
+	drainTimeout := fs.Duration("drain-timeout", 0, "cluster mode: bound on streaming owned keys to new owners at departure (0 = default 30s)")
+	antiEntropy := fs.Duration("anti-entropy", 0, "cluster mode: self-healing replica refill sweep interval (0 = default 30s, negative = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return nil, serveConfig{}, err
 	}
@@ -297,11 +343,14 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 
 	// Cluster flags are validated before the (possibly expensive) backend
 	// build so a bad invocation fails fast instead of after training.
-	clusterMode := *peersFlag != "" || *self != ""
-	var peers []string
+	clusterMode := *peersFlag != "" || *self != "" || *seedFlag != ""
+	var peers, seeds []string
 	if clusterMode {
-		if *self == "" || *peersFlag == "" {
-			return nil, serveConfig{}, fmt.Errorf("cluster mode needs both -self and -peers")
+		if *self == "" {
+			return nil, serveConfig{}, fmt.Errorf("cluster mode needs -self")
+		}
+		if *peersFlag == "" && *seedFlag == "" {
+			return nil, serveConfig{}, fmt.Errorf("cluster mode needs -peers (static bootstrap) or -seed (join a live member)")
 		}
 		if *replication < 1 {
 			return nil, serveConfig{}, fmt.Errorf("-replication must be >= 1 (got %d)", *replication)
@@ -309,14 +358,11 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 		if _, err := serve.NormalizePeerURL(*self); err != nil {
 			return nil, serveConfig{}, fmt.Errorf("-self: %w", err)
 		}
-		for _, p := range strings.Split(*peersFlag, ",") {
-			if p = strings.TrimSpace(p); p == "" {
-				continue
-			}
-			if _, err := serve.NormalizePeerURL(p); err != nil {
-				return nil, serveConfig{}, fmt.Errorf("-peers: %w", err)
-			}
-			peers = append(peers, p)
+		if peers, err = splitPeerURLs(*peersFlag, "-peers"); err != nil {
+			return nil, serveConfig{}, err
+		}
+		if seeds, err = splitPeerURLs(*seedFlag, "-seed"); err != nil {
+			return nil, serveConfig{}, err
 		}
 	}
 
@@ -372,12 +418,23 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 		if err := srv.EnableCluster(serve.ClusterConfig{
 			Self:           *self,
 			Peers:          peers,
+			Seeds:          seeds,
 			VNodes:         *vnodes,
 			ForwardTimeout: *forwardTimeout,
 			Replication:    *replication,
+			Heartbeat:      *heartbeat,
+			SuspectAfter:   *suspectAfter,
+			EvictAfter:     *evictAfter,
+			AntiEntropy:    *antiEntropy,
+			DrainTimeout:   *drainTimeout,
 		}); err != nil {
 			srv.Close()
 			return nil, serveConfig{}, err
+		}
+		cfg.cluster = true
+		cfg.drainTimeout = *drainTimeout
+		if cfg.drainTimeout <= 0 {
+			cfg.drainTimeout = 30 * time.Second
 		}
 		ring := srv.Ring()
 		rf := 1
@@ -385,10 +442,26 @@ func buildServer(args []string, w io.Writer) (*serve.Server, serveConfig, error)
 			rf = ring.Replication.Factor
 		}
 		logger.Info("cluster mode",
-			"peers", len(ring.Members), "vnodes", ring.VNodes, "rf", rf,
-			"self", ring.Self, "ownership", selfOwnership(ring))
+			"peers", len(ring.Members), "seeds", len(seeds), "vnodes", ring.VNodes,
+			"rf", rf, "epoch", ring.Epoch, "self", ring.Self,
+			"ownership", selfOwnership(ring))
 	}
 	return srv, cfg, nil
+}
+
+// splitPeerURLs parses a comma-separated URL flag, validating each entry.
+func splitPeerURLs(flagValue, flagName string) ([]string, error) {
+	var urls []string
+	for _, p := range strings.Split(flagValue, ",") {
+		if p = strings.TrimSpace(p); p == "" {
+			continue
+		}
+		if _, err := serve.NormalizePeerURL(p); err != nil {
+			return nil, fmt.Errorf("%s: %w", flagName, err)
+		}
+		urls = append(urls, p)
+	}
+	return urls, nil
 }
 
 // selfOwnership extracts this peer's key-space fraction from the ring view.

@@ -110,6 +110,21 @@ func (c *Cache) Get(key string) (any, bool) {
 	return el.Value.(*cacheEntry).val, true
 }
 
+// Peek returns the cached value for key without touching recency or the
+// hit/miss counters. Cluster-internal probes (anti-entropy pulls, read
+// repairs) read through Peek so peer traffic neither skews the cache
+// statistics nor keeps entries warm that no client is asking for.
+func (c *Cache) Peek(key string) (any, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).val, true
+}
+
 // Add stores val under key, evicting the least recently used entry of the
 // key's shard when the shard is full. Re-adding an existing key replaces
 // its value and refreshes its recency.

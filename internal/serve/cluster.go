@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,8 +44,16 @@ type ClusterConfig struct {
 	// Self is this process's base URL as the other peers reach it. It is
 	// added to the member set if Peers omits it.
 	Self string
-	// Peers is the full member list, normally including Self.
+	// Peers is the static member bootstrap, normally including Self. It
+	// seeds the dynamic membership — peers listed here but never started
+	// are evicted by the failure detector like any other silent member.
+	// May be empty when Seeds is set.
 	Peers []string
+	// Seeds are existing cluster members to join through instead of (or in
+	// addition to) a static Peers list: the server starts as a
+	// single-member ring and a background loop POSTs /v1/cluster/join to
+	// each seed in turn until one admits it.
+	Seeds []string
 	// VNodes is the virtual-node count per member (<= 0 = shard.DefaultVNodes).
 	VNodes int
 	// ForwardTimeout bounds one proxied request (<= 0 = shard default).
@@ -54,19 +63,57 @@ type ClusterConfig struct {
 	// Replication is how many ring successors own each key (the tier's
 	// RF). 1 — or 0, the zero value — keeps the original single-owner
 	// behavior with no replication traffic at all; values above the
-	// cluster size are clamped to it. Every peer must use the same value.
+	// current ring size are clamped to it at use time. Every peer must use
+	// the same value.
 	Replication int
 	// ReplicationQueue bounds the async write-through queue; posts beyond
 	// it are dropped, never blocked on (<= 0 = shard default).
 	ReplicationQueue int
+	// Heartbeat is the gossip interval (0 = 1s default; < 0 disables the
+	// background gossip/join/anti-entropy loops entirely — tests drive the
+	// state machine by hand).
+	Heartbeat time.Duration
+	// SuspectAfter marks a silent member suspect in /v1/ring health
+	// (0 = 3× Heartbeat).
+	SuspectAfter time.Duration
+	// EvictAfter declares a silent member dead and drops it from the ring
+	// (0 = 10× Heartbeat). It must dominate the heartbeat by a comfortable
+	// multiple or healthy peers evict each other on jitter.
+	EvictAfter time.Duration
+	// AntiEntropy is the self-healing sweep interval: how often this peer
+	// diffs the ring's owner lists against its local cache and pulls the
+	// replica entries it should hold but does not (0 = 30s default; < 0
+	// disables the sweep).
+	AntiEntropy time.Duration
+	// DrainTimeout bounds a planned departure's key handoff
+	// (0 = 30s default).
+	DrainTimeout time.Duration
+	// RefillConcurrency caps concurrent anti-entropy entry fetches
+	// (0 = 4) so a refill never starves the serving path.
+	RefillConcurrency int
 }
 
-// cluster is the Server's live cluster state.
+// cluster is the Server's live cluster state. The ring is no longer a
+// fixed field: membership owns it and swaps in a new epoch-stamped ring on
+// every join, departure or eviction — the request path reads the current
+// snapshot through ring().
 type cluster struct {
 	self string
-	ring *shard.Ring
+	mem  *shard.Membership
 	fwd  *shard.Forwarder
-	rf   int // replication factor, clamped to [1, len(members)]
+	rf   int // configured replication factor, >= 1; clamped per-use by Owners
+
+	seeds         []string
+	heartbeat     time.Duration
+	antiEntropy   time.Duration
+	drainTimeout  time.Duration
+	refillWorkers int
+
+	quit     chan struct{}
+	bg       sync.WaitGroup
+	stopOnce sync.Once
+	joined   atomic.Bool // a seed admitted us (or no seeds were needed)
+	draining atomic.Bool // a planned departure started
 
 	forwardedIn  atomic.Uint64 // requests received already forwarded by a peer
 	fallbacks    atomic.Uint64 // every owner unreachable, served locally instead
@@ -74,7 +121,27 @@ type cluster struct {
 	repWrites    atomic.Uint64 // cache entries enqueued for write-through to replicas
 	repDrops     atomic.Uint64 // write-throughs dropped (queue full)
 	replicatedIn atomic.Uint64 // cache entries accepted via POST /v1/replicate
+
+	joinsIn    atomic.Uint64 // join requests admitted by this peer
+	gossipIn   atomic.Uint64 // gossip exchanges received
+	gossipOut  atomic.Uint64 // gossip exchanges sent and answered
+	gossipErrs atomic.Uint64 // gossip/join sends that reached no peer
+	pruned     atomic.Uint64 // peer clients dropped on ring rebuilds
+
+	aeSweeps      atomic.Uint64 // anti-entropy sweeps completed
+	aeRefills     atomic.Uint64 // cache entries pulled in by anti-entropy
+	aeErrs        atomic.Uint64 // anti-entropy key-list or entry fetches that failed
+	lastSweepUnix atomic.Int64  // when the last sweep finished
+
+	readRepairs  atomic.Uint64 // owned misses answered by pulling a co-owner's copy
+	repairMisses atomic.Uint64 // read-repair attempts no co-owner could answer
+	drainedOut   atomic.Uint64 // cache entries streamed to new owners during drain
 }
+
+// ring returns the current ring snapshot — nil only after this peer
+// departed a single-member cluster. Hold the returned pointer across
+// related calls for a consistent view.
+func (c *cluster) ring() *shard.Ring { return c.mem.Ring() }
 
 // NormalizePeerURL validates a peer base URL and strips the trailing slash
 // so ring membership comparison is exact. cmd/serve calls it during flag
@@ -108,7 +175,7 @@ func (s *Server) EnableCluster(cfg ClusterConfig) error {
 	if err != nil {
 		return fmt.Errorf("serve: -self: %w", err)
 	}
-	members := make([]string, 0, len(cfg.Peers)+1)
+	members := make([]string, 0, len(cfg.Peers))
 	for _, p := range cfg.Peers {
 		m, err := NormalizePeerURL(p)
 		if err != nil {
@@ -116,9 +183,15 @@ func (s *Server) EnableCluster(cfg ClusterConfig) error {
 		}
 		members = append(members, m)
 	}
-	ring, err := shard.NewRing(append(members, self), cfg.VNodes)
-	if err != nil {
-		return err
+	seeds := make([]string, 0, len(cfg.Seeds))
+	for _, p := range cfg.Seeds {
+		m, err := NormalizePeerURL(p)
+		if err != nil {
+			return fmt.Errorf("serve: -seed: %w", err)
+		}
+		if m != self {
+			seeds = append(seeds, m)
+		}
 	}
 	if cfg.Replication < 0 {
 		return fmt.Errorf("serve: replication factor %d must be >= 1", cfg.Replication)
@@ -127,20 +200,77 @@ func (s *Server) EnableCluster(cfg ClusterConfig) error {
 	if rf < 1 {
 		rf = 1
 	}
-	if n := len(ring.Members()); rf > n {
-		rf = n
+	heartbeat := cfg.Heartbeat
+	loops := heartbeat >= 0
+	if heartbeat <= 0 {
+		// Negative disables the loops but keeps a sane interval for the
+		// per-exchange timeouts of hand-driven rounds (tests).
+		heartbeat = time.Second
 	}
-	s.cluster = &cluster{
-		self: self,
-		ring: ring,
-		rf:   rf,
+	suspectAfter := cfg.SuspectAfter
+	if suspectAfter <= 0 {
+		suspectAfter = 3 * heartbeat
+	}
+	evictAfter := cfg.EvictAfter
+	if evictAfter <= 0 {
+		evictAfter = 10 * heartbeat
+	}
+	antiEntropy := cfg.AntiEntropy
+	if antiEntropy == 0 {
+		antiEntropy = 30 * time.Second
+	}
+	drainTimeout := cfg.DrainTimeout
+	if drainTimeout <= 0 {
+		drainTimeout = 30 * time.Second
+	}
+	refill := cfg.RefillConcurrency
+	if refill <= 0 {
+		refill = 4
+	}
+	c := &cluster{
+		self:          self,
+		rf:            rf,
+		seeds:         seeds,
+		heartbeat:     heartbeat,
+		antiEntropy:   antiEntropy,
+		drainTimeout:  drainTimeout,
+		refillWorkers: refill,
+		quit:          make(chan struct{}),
 		fwd: shard.NewForwarder(self, shard.ForwardOptions{
 			Timeout:         cfg.ForwardTimeout,
 			MaxConnsPerPeer: cfg.MaxPeerConns,
 			AsyncQueue:      cfg.ReplicationQueue,
 		}),
 	}
-	s.metrics.registerCluster(s.cluster)
+	mem, err := shard.NewMembership(shard.MembershipConfig{
+		Self:         self,
+		Peers:        members,
+		VNodes:       cfg.VNodes,
+		SuspectAfter: suspectAfter,
+		EvictAfter:   evictAfter,
+		// Every ring swap prunes the forwarder's peer clients down to the
+		// new member set, closing departed peers' idle connections — the
+		// membership-shrink counterpart of the lazily created clients.
+		OnChange: func(ring *shard.Ring, _ uint64) {
+			var keep []string
+			if ring != nil {
+				keep = ring.Members()
+			}
+			if n := c.fwd.Prune(keep); n > 0 {
+				c.pruned.Add(uint64(n))
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	c.mem = mem
+	c.joined.Store(len(seeds) == 0)
+	s.cluster = c
+	s.metrics.registerCluster(c)
+	if loops {
+		s.startClusterLoops()
+	}
 	return nil
 }
 
@@ -177,17 +307,24 @@ func (s *Server) route(forwarded bool, key string) (targets, owners []string, ow
 	if c == nil {
 		return nil, nil, false
 	}
+	// One ring snapshot per request: membership may swap the ring between
+	// statements, but a single request must route against one epoch.
+	ring := c.ring()
+	if ring == nil {
+		// Self departed and no other member remains: serve locally.
+		return nil, nil, false
+	}
 	if c.rf == 1 {
 		// Single-owner fast path: no successor list to build (Owner is an
 		// allocation-free binary search), and with no replicas owned only
 		// gates a write-through that can never happen.
-		owner := c.ring.Owner(key)
+		owner := ring.Owner(key)
 		if owner == c.self || forwarded {
 			return nil, nil, owner == c.self
 		}
 		return []string{owner}, nil, false
 	}
-	owners = c.ring.Owners(key, c.rf)
+	owners = ring.Owners(key, c.rf)
 	if forwarded {
 		// Forced local: still report ownership so a primary evaluating a
 		// forwarded-in miss replicates the result.
@@ -301,11 +438,15 @@ const maxReplicateBytes = 4 << 20
 // re-replication, no evaluation — which is the loop guard that keeps
 // replication traffic acyclic by construction.
 //
-// The sender must identify itself as a ring member via the forwarded-by
+// The sender must identify itself as a known member via the forwarded-by
 // header (the forwarder's async path sets it). This is trust-model
 // consistency, not authentication — the tier has none anywhere — but it
 // keeps the only cache-writing endpoint from accepting writes from
-// clients that know nothing about the cluster.
+// clients that know nothing about the cluster. Known deliberately includes
+// tombstoned members, not just current ring members: a draining peer's
+// final key handoff arrives after its departure tombstone, and an evicted
+// peer's in-flight write-throughs race its eviction — both carry entries
+// worth keeping.
 func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, "POST required")
@@ -316,8 +457,8 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusConflict, "replication requires cluster mode")
 		return
 	}
-	if from := r.Header.Get(shard.ForwardedByHeader); !c.ring.Contains(from) {
-		s.fail(w, http.StatusForbidden, "replicate writes must come from a ring member")
+	if from := r.Header.Get(shard.ForwardedByHeader); !c.mem.Knows(from) {
+		s.fail(w, http.StatusForbidden, "replicate writes must come from a known cluster member")
 		return
 	}
 	n, err := s.RestoreCache(http.MaxBytesReader(w, r.Body, maxReplicateBytes))
@@ -371,6 +512,70 @@ type RingMember struct {
 	// to local serving). Both are zero for Self.
 	Forwards uint64 `json:"forwards,omitempty"`
 	Errors   uint64 `json:"errors,omitempty"`
+	// Status is the member's gossip state ("alive"; ring members are
+	// always alive) and Suspect this observer's staleness judgment: the
+	// member's record has stopped advancing but has not yet crossed the
+	// eviction deadline.
+	Status  string `json:"status,omitempty"`
+	Suspect bool   `json:"suspect,omitempty"`
+	// AgeSeconds is how long ago this observer last saw the member's
+	// gossip record advance (0 for Self between heartbeats).
+	AgeSeconds float64 `json:"age_seconds,omitempty"`
+}
+
+// DepartedMember is a tombstoned peer in the membership section: "left"
+// for a planned departure, "dead" for an eviction verdict.
+type DepartedMember struct {
+	Peer   string `json:"peer"`
+	Status string `json:"status"`
+}
+
+// MembershipStats is the gossip-membership section of /v1/ring, present
+// whenever cluster mode is on.
+type MembershipStats struct {
+	// Joined reports whether this peer is past its seed join (always true
+	// without -seed).
+	Joined bool `json:"joined"`
+	// Draining reports a planned departure in progress (or completed).
+	Draining bool `json:"draining,omitempty"`
+	// JoinsIn counts join requests this peer admitted.
+	JoinsIn uint64 `json:"joins_in"`
+	// GossipSent counts heartbeat exchanges this peer initiated and got
+	// answered; GossipReceived counts exchanges it answered;
+	// GossipErrors counts sends that reached no peer.
+	GossipSent     uint64 `json:"gossip_sent"`
+	GossipReceived uint64 `json:"gossip_received"`
+	GossipErrors   uint64 `json:"gossip_errors"`
+	// Evictions counts dead verdicts this peer issued itself;
+	// Refutations counts tombstones about itself it overrode.
+	Evictions   uint64 `json:"evictions"`
+	Refutations uint64 `json:"refutations"`
+	// PrunedClients counts peer HTTP clients dropped on ring rebuilds.
+	PrunedClients uint64 `json:"pruned_clients,omitempty"`
+	// DrainedOut counts cache entries streamed to their new owners during
+	// this peer's planned departure.
+	DrainedOut uint64 `json:"drained_out,omitempty"`
+	// Departed lists tombstoned peers, sorted by name.
+	Departed []DepartedMember `json:"departed,omitempty"`
+}
+
+// AntiEntropyStats is the self-healing section of /v1/ring: the background
+// sweep that pulls replica entries this peer should hold but does not,
+// plus the read-repair counters from the request path.
+type AntiEntropyStats struct {
+	// Sweeps counts completed sweeps; LastSweepUnix is when the latest
+	// finished (0 = never).
+	Sweeps        uint64 `json:"sweeps"`
+	LastSweepUnix int64  `json:"last_sweep_unix,omitempty"`
+	// Refilled counts cache entries pulled from peers by sweeps; Errors
+	// counts key-list or entry fetches that failed.
+	Refilled uint64 `json:"refilled"`
+	Errors   uint64 `json:"errors"`
+	// ReadRepairs counts owned misses answered by pulling a co-owner's
+	// copy instead of re-evaluating; RepairMisses counts attempts where no
+	// co-owner had the entry (a genuinely cold key).
+	ReadRepairs  uint64 `json:"read_repairs"`
+	RepairMisses uint64 `json:"repair_misses"`
 }
 
 // ReplicationStats is the replication section of /v1/ring and
@@ -407,9 +612,13 @@ type KeyOwners struct {
 // RingResponse is the GET /v1/ring payload (also embedded in /v1/stats as
 // "cluster"). Outside cluster mode only Enabled=false is meaningful.
 type RingResponse struct {
-	Enabled bool         `json:"enabled"`
-	Self    string       `json:"self,omitempty"`
-	VNodes  int          `json:"vnodes,omitempty"`
+	Enabled bool   `json:"enabled"`
+	Self    string `json:"self,omitempty"`
+	VNodes  int    `json:"vnodes,omitempty"`
+	// Epoch is the ring version: it increments exactly when the ring
+	// member set changes, and stamps which membership view the counters
+	// below were read against.
+	Epoch   uint64       `json:"epoch,omitempty"`
 	Members []RingMember `json:"members,omitempty"`
 	// ForwardedIn counts requests that arrived already forwarded by a peer
 	// (this process answered them as owner). Deliberately not omitempty:
@@ -421,6 +630,12 @@ type RingResponse struct {
 	// Replication is the replicated-ownership view; nil when the factor
 	// is 1 (no replication configured).
 	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Membership is the gossip view: join/gossip/eviction counters and
+	// tombstoned peers.
+	Membership *MembershipStats `json:"membership,omitempty"`
+	// AntiEntropy is the self-healing view: background refill sweeps and
+	// request-path read repairs.
+	AntiEntropy *AntiEntropyStats `json:"anti_entropy,omitempty"`
 	// KeyOwners answers a ?key= query with that key's owner list; nil
 	// otherwise.
 	KeyOwners *KeyOwners `json:"key_owners,omitempty"`
@@ -432,17 +647,26 @@ func (s *Server) Ring() RingResponse {
 	if c == nil {
 		return RingResponse{Enabled: false}
 	}
+	ring := c.ring()
 	resp := RingResponse{
 		Enabled:        true,
 		Self:           c.self,
-		VNodes:         c.ring.VNodes(),
+		Epoch:          c.mem.Epoch(),
 		ForwardedIn:    c.forwardedIn.Load(),
 		LocalFallbacks: c.fallbacks.Load(),
 	}
 	if c.rf > 1 {
+		// Report the effective factor: the configured rf clamped to the
+		// live member count, since Owners clamps the same way per key.
+		// Under elastic membership the configured value cannot be clamped
+		// at enable time — the cluster may grow into it later.
+		factor := c.rf
+		if ring != nil && len(ring.Members()) < factor {
+			factor = len(ring.Members())
+		}
 		async := c.fwd.Async()
 		resp.Replication = &ReplicationStats{
-			Factor:       c.rf,
+			Factor:       factor,
 			Writes:       c.repWrites.Load(),
 			WriteDrops:   c.repDrops.Load(),
 			WriteErrors:  async.Errors,
@@ -450,18 +674,55 @@ func (s *Server) Ring() RingResponse {
 			ReplicaHits:  c.replicaHits.Load(),
 		}
 	}
-	ownership := c.ring.Ownership()
+	counters := c.mem.Counters()
+	ms := &MembershipStats{
+		Joined:         c.joined.Load(),
+		Draining:       c.draining.Load(),
+		JoinsIn:        c.joinsIn.Load(),
+		GossipSent:     c.gossipOut.Load(),
+		GossipReceived: c.gossipIn.Load(),
+		GossipErrors:   c.gossipErrs.Load(),
+		Evictions:      counters.Evictions,
+		Refutations:    counters.Refutations,
+		PrunedClients:  c.pruned.Load(),
+		DrainedOut:     c.drainedOut.Load(),
+	}
+	resp.AntiEntropy = &AntiEntropyStats{
+		Sweeps:        c.aeSweeps.Load(),
+		LastSweepUnix: c.lastSweepUnix.Load(),
+		Refilled:      c.aeRefills.Load(),
+		Errors:        c.aeErrs.Load(),
+		ReadRepairs:   c.readRepairs.Load(),
+		RepairMisses:  c.repairMisses.Load(),
+	}
+	health := map[string]shard.MemberHealth{}
+	for _, h := range c.mem.Health() {
+		health[h.Name] = h
+		if h.Status != shard.StatusAlive {
+			ms.Departed = append(ms.Departed, DepartedMember{Peer: h.Name, Status: string(h.Status)})
+		}
+	}
+	resp.Membership = ms
+	if ring == nil {
+		return resp
+	}
+	resp.VNodes = ring.VNodes()
+	ownership := ring.Ownership()
 	peerStats := map[string]shard.PeerStats{}
 	for _, ps := range c.fwd.Stats() {
 		peerStats[ps.Peer] = ps
 	}
-	for _, m := range c.ring.Members() {
+	for _, m := range ring.Members() {
+		h := health[m]
 		resp.Members = append(resp.Members, RingMember{
-			Peer:      m,
-			Self:      m == c.self,
-			Ownership: ownership[m],
-			Forwards:  peerStats[m].Forwards,
-			Errors:    peerStats[m].Errors,
+			Peer:       m,
+			Self:       m == c.self,
+			Ownership:  ownership[m],
+			Forwards:   peerStats[m].Forwards,
+			Errors:     peerStats[m].Errors,
+			Status:     string(h.Status),
+			Suspect:    h.Suspect,
+			AgeSeconds: h.AgeSeconds,
 		})
 	}
 	return resp
@@ -474,9 +735,11 @@ func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := s.Ring()
 	if key := r.URL.Query().Get("key"); key != "" && s.cluster != nil {
-		resp.KeyOwners = &KeyOwners{
-			Key:    key,
-			Owners: s.cluster.ring.Owners(key, s.cluster.rf),
+		if ring := s.cluster.ring(); ring != nil {
+			resp.KeyOwners = &KeyOwners{
+				Key:    key,
+				Owners: ring.Owners(key, s.cluster.rf),
+			}
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)

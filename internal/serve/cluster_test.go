@@ -287,7 +287,7 @@ func findOwnedBinding(t *testing.T, ring *shard.Ring, owner string, from float64
 func TestClusterForwardedInCountsCacheHits(t *testing.T) {
 	peers := startCluster(t, 2)
 	a, b := peers[0], peers[1]
-	req := findOwnedBinding(t, b.srv.cluster.ring, b.http.URL, 9000)
+	req := findOwnedBinding(t, b.srv.cluster.ring(), b.http.URL, 9000)
 
 	// Warm the owner directly (no forwarding involved)...
 	if warm := postAdvise(t, b.http.URL, req); warm.ServedBy != b.http.URL {
@@ -344,7 +344,7 @@ func TestClusterForwardCollapsesConcurrentMisses(t *testing.T) {
 		}
 	}
 
-	req := findOwnedBinding(t, a.cluster.ring, hb.URL, 7000)
+	req := findOwnedBinding(t, a.cluster.ring(), hb.URL, 7000)
 	const clients = 8
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -414,7 +414,7 @@ func waitReplicated(t *testing.T, p *clusterPeer, want uint64) {
 // a recomputation). One peer death loses no warmth.
 func TestClusterReplicationSurvivesPrimaryDeath(t *testing.T) {
 	peers := startClusterRF(t, 3, 2)
-	ring := peers[0].srv.cluster.ring
+	ring := peers[0].srv.cluster.ring()
 
 	// Pick a request whose full owner list we know up front.
 	req := findOwnedBinding(t, ring, peers[0].http.URL, 20000)
@@ -475,7 +475,7 @@ func TestClusterReplicationSurvivesPrimaryDeath(t *testing.T) {
 // lands the entry on the replica for failover.
 func TestClusterReplicaMissForwardsToPrimary(t *testing.T) {
 	peers := startClusterRF(t, 3, 2)
-	ring := peers[0].srv.cluster.ring
+	ring := peers[0].srv.cluster.ring()
 
 	req := findOwnedBinding(t, ring, peers[0].http.URL, 30000)
 	owners := ring.Owners(adviseKeyFor(t, req), 2)
@@ -589,7 +589,7 @@ func TestReplicateEndpoint(t *testing.T) {
 func TestWrongTypedCacheEntryIsAMiss(t *testing.T) {
 	peers := startClusterRF(t, 2, 2)
 	a := peers[0]
-	req := findOwnedBinding(t, a.srv.cluster.ring, a.http.URL, 50000)
+	req := findOwnedBinding(t, a.srv.cluster.ring(), a.http.URL, 50000)
 	key := adviseKeyFor(t, req)
 
 	// Poison the advise key with a predict-typed value, as a bad peer
@@ -634,7 +634,7 @@ func TestRingKeyOwnersQuery(t *testing.T) {
 	if ring.KeyOwners == nil || ring.KeyOwners.Key != "somekey" || len(ring.KeyOwners.Owners) != 2 {
 		t.Fatalf("key_owners = %+v, want 2 owners for somekey", ring.KeyOwners)
 	}
-	if want := a.srv.cluster.ring.Owners("somekey", 2); ring.KeyOwners.Owners[0] != want[0] || ring.KeyOwners.Owners[1] != want[1] {
+	if want := a.srv.cluster.ring().Owners("somekey", 2); ring.KeyOwners.Owners[0] != want[0] || ring.KeyOwners.Owners[1] != want[1] {
 		t.Errorf("key_owners = %v, ring says %v", ring.KeyOwners.Owners, want)
 	}
 }

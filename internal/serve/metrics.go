@@ -16,7 +16,7 @@ import (
 // stats JSON would break its byte-compatibility contract).
 var serveEndpoints = []string{
 	"advise", "predict", "feedback", "healthz", "stats", "models", "ring",
-	"replicate", "jobs", "metrics", "trace",
+	"replicate", "cluster", "jobs", "metrics", "trace",
 }
 
 // endpointInstruments are one endpoint's request counter and latency
@@ -311,6 +311,68 @@ func (m *serveMetrics) registerCluster(c *cluster) {
 				emit(obs.L("peer", ps.Peer), float64(ps.Errors))
 			}
 		})
+
+	// Elastic membership: the gossip/join/eviction surface and the
+	// self-healing (anti-entropy, read-repair, drain) counters.
+	m.reg.GaugeFunc("serve_cluster_epoch",
+		"Ring version; increments on every membership change.", nil,
+		func() float64 { return float64(c.mem.Epoch()) })
+	m.reg.GaugeFunc("serve_cluster_members",
+		"Live members in the current ring.", nil,
+		func() float64 {
+			ring := c.ring()
+			if ring == nil {
+				return 0
+			}
+			return float64(len(ring.Members()))
+		})
+	m.reg.GaugeFunc("serve_cluster_joined",
+		"1 once this peer has been admitted by a seed (always 1 without seeds).", nil,
+		func() float64 {
+			if c.joined.Load() {
+				return 1
+			}
+			return 0
+		})
+	m.reg.CounterFunc("serve_cluster_joins_total",
+		"Join requests admitted by this peer.", nil,
+		func() float64 { return float64(c.joinsIn.Load()) })
+	m.reg.CounterFunc("serve_cluster_gossip_sent_total",
+		"Gossip exchanges this peer initiated and completed.", nil,
+		func() float64 { return float64(c.gossipOut.Load()) })
+	m.reg.CounterFunc("serve_cluster_gossip_received_total",
+		"Gossip exchanges answered.", nil,
+		func() float64 { return float64(c.gossipIn.Load()) })
+	m.reg.CounterFunc("serve_cluster_gossip_errors_total",
+		"Failed gossip or join exchanges.", nil,
+		func() float64 { return float64(c.gossipErrs.Load()) })
+	m.reg.CounterFunc("serve_cluster_evictions_total",
+		"Members this peer declared dead after missed heartbeats.", nil,
+		func() float64 { return float64(c.mem.Counters().Evictions) })
+	m.reg.CounterFunc("serve_cluster_refutations_total",
+		"Times this peer refuted its own death or departure.", nil,
+		func() float64 { return float64(c.mem.Counters().Refutations) })
+	m.reg.CounterFunc("serve_cluster_pruned_clients_total",
+		"Idle peer HTTP clients closed after members left the ring.", nil,
+		func() float64 { return float64(c.pruned.Load()) })
+	m.reg.CounterFunc("serve_cluster_anti_entropy_sweeps_total",
+		"Anti-entropy sweeps completed.", nil,
+		func() float64 { return float64(c.aeSweeps.Load()) })
+	m.reg.CounterFunc("serve_cluster_anti_entropy_refills_total",
+		"Missing owned entries refilled from peer caches by anti-entropy.", nil,
+		func() float64 { return float64(c.aeRefills.Load()) })
+	m.reg.CounterFunc("serve_cluster_anti_entropy_errors_total",
+		"Failed anti-entropy fetches.", nil,
+		func() float64 { return float64(c.aeErrs.Load()) })
+	m.reg.CounterFunc("serve_cluster_read_repairs_total",
+		"Owned misses answered from a co-owner's cache on the request path.", nil,
+		func() float64 { return float64(c.readRepairs.Load()) })
+	m.reg.CounterFunc("serve_cluster_read_repair_misses_total",
+		"Read-repair attempts where no co-owner held the entry.", nil,
+		func() float64 { return float64(c.repairMisses.Load()) })
+	m.reg.CounterFunc("serve_cluster_drained_out_total",
+		"Cache entries streamed to new owners during planned departure.", nil,
+		func() float64 { return float64(c.drainedOut.Load()) })
 }
 
 // statusClass folds an HTTP status into its class label ("4xx", "5xx").

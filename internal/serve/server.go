@@ -357,6 +357,7 @@ func NewServer(backends []Backend, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/v1/models", s.instrument("models", false, s.handleModels))
 	s.mux.HandleFunc("/v1/ring", s.instrument("ring", false, s.handleRing))
 	s.mux.HandleFunc("/v1/replicate", s.instrument("replicate", true, s.handleReplicate))
+	s.mux.HandleFunc("/v1/cluster/", s.instrument("cluster", false, s.handleCluster))
 	s.mux.HandleFunc("/v1/trace", s.instrument("trace", false, s.handleTrace))
 	s.mux.HandleFunc("/v1/jobs/", s.instrument("jobs", false, s.handleJobs))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", false, s.handleMetrics))
@@ -481,8 +482,8 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close stops the async-job workers (cancelling their evaluations and
 // waiting them out), the job store's sweeper, the per-model batchers
-// (after draining in-flight batches) and, in cluster mode, the
-// forwarder's async replication workers.
+// (after draining in-flight batches) and, in cluster mode, the membership
+// background loops and the forwarder's async replication workers.
 func (s *Server) Close() {
 	s.jobsCancel()
 	s.jobsWG.Wait()
@@ -511,7 +512,7 @@ func (s *Server) Close() {
 		b.Close()
 	}
 	if s.cluster != nil {
-		s.cluster.fwd.Close()
+		s.cluster.stop()
 	}
 }
 
@@ -925,6 +926,16 @@ func (s *Server) adviseRecs(ctx context.Context, tr *obs.Trace, p adviseParams) 
 				return fr, nil
 			}
 		}
+		// Owned miss with live co-owners: before paying an evaluation, try
+		// pulling the entry from a replica's cache (read repair). The case
+		// this serves is a peer that just rejoined — it owns its old keys
+		// again but holds none of them until the next anti-entropy sweep,
+		// while its co-owners still do.
+		if v, ok := s.tryRepair(ctx, tr, p.key, owners, owned); ok {
+			if r2, ok := v.([]advisor.Recommendation); ok {
+				return repairedEntry{val: r2}, nil
+			}
+		}
 		poolWait := tr.StartSpan("pool_wait")
 		var out []advisor.Recommendation
 		err := s.admitRun(ctx, p.client, func() error {
@@ -954,6 +965,12 @@ func (s *Server) adviseRecs(ctx context.Context, tr *obs.Trace, p adviseParams) 
 	}
 	if fr, ok := v.(proxiedResponse); ok {
 		return nil, &fr, false, coalesced, nil
+	}
+	if re, ok := v.(repairedEntry); ok {
+		// A repaired entry is a cache hit from the tier's point of view:
+		// the warmth existed, just on a co-owner.
+		s.metrics.adviseHits.Inc()
+		return re.val.([]advisor.Recommendation), nil, true, coalesced, nil
 	}
 	return v.([]advisor.Recommendation), nil, false, coalesced, nil
 }
@@ -1116,6 +1133,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				return pr, nil
 			}
 		}
+		// Read repair, as in adviseRecs: an owned miss may exist on a
+		// co-owner's cache (this peer just rejoined and is not yet warm).
+		if rv, ok := s.tryRepair(ctx, tr, key, owners, owned); ok {
+			if us, ok := rv.(float64); ok {
+				return repairedEntry{val: us}, nil
+			}
+		}
 		poolWait := tr.StartSpan("pool_wait")
 		var us float64
 		err := s.admitRun(ctx, clientKey(r), func() error {
@@ -1156,6 +1180,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if pr, ok := v.(proxiedResponse); ok {
 		s.writeProxied(w, pr)
 		return
+	}
+	if re, ok := v.(repairedEntry); ok {
+		resp.Cached = true
+		v = re.val
 	}
 	ms.predict.Add(1)
 	ms.touch()

@@ -44,7 +44,10 @@ type Stats struct {
 		// Feedback counts POST /v1/feedback arrivals; omitted at zero so
 		// tiers without the lifecycle keep their exact prior payload.
 		Feedback uint64 `json:"feedback,omitempty"`
-		Errors   uint64 `json:"errors"`
+		// Cluster counts /v1/cluster/* arrivals (join, gossip, leave and
+		// anti-entropy pulls); omitted at zero outside cluster mode.
+		Cluster uint64 `json:"cluster,omitempty"`
+		Errors  uint64 `json:"errors"`
 	} `json:"requests"`
 
 	AdviseCacheHits uint64 `json:"advise_cache_hits"`
@@ -90,6 +93,7 @@ func (s *Server) snapshot() Stats {
 	st.Requests.Replicate = s.metrics.requests("replicate")
 	st.Requests.Jobs = s.metrics.requests("jobs")
 	st.Requests.Feedback = s.metrics.requests("feedback")
+	st.Requests.Cluster = s.metrics.requests("cluster")
 	st.Requests.Errors = s.metrics.totalErrors()
 	st.AdviseCacheHits = s.metrics.adviseHits.Value()
 	st.Coalesced = s.metrics.coalesced.Value()

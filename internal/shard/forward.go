@@ -174,6 +174,69 @@ func (f *Forwarder) post(ctx context.Context, pc *peerClient, peer, path string,
 	return resp.StatusCode, out, nil
 }
 
+// Control performs one request to peer+path on the peer's bounded client
+// without touching the per-peer forwarding counters: membership gossip,
+// anti-entropy key exchange and read-repair fetches are control-plane
+// chatter that must not inflate the request-forwarding stats operators
+// read off /v1/ring. The loop-guard header still rides along as the
+// sender's identity (receivers gate peer-only endpoints on it). body may
+// be nil for GETs. The caller owns error counting.
+func (f *Forwarder) Control(ctx context.Context, method, peer, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, peer+path, rd)
+	if err != nil {
+		return 0, nil, fmt.Errorf("shard: building control request to %s: %w", peer, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	req.Header.Set(ForwardedByHeader, f.self)
+	resp, err := f.peer(peer).client.Do(req)
+	if err != nil {
+		return 0, nil, fmt.Errorf("shard: control request to %s: %w", peer, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, fmt.Errorf("shard: reading control response from %s: %w", peer, err)
+	}
+	return resp.StatusCode, out, nil
+}
+
+// Prune drops the clients of peers not in keep, closing their idle
+// connections, and returns how many were dropped. Peer clients are created
+// lazily and were never removed, so a long-lived process whose membership
+// shrank kept a connection pool (and its idle sockets) per departed peer
+// forever; the serving tier calls Prune on every ring rebuild. Dropping a
+// client also drops its forward/error counters — a departed peer's rows
+// disappear from /v1/ring. In-flight requests on a pruned client finish
+// normally (they hold their own reference; only idle connections close),
+// and a later request to the same peer just recreates the client.
+func (f *Forwarder) Prune(keep []string) int {
+	keepSet := make(map[string]bool, len(keep))
+	for _, k := range keep {
+		keepSet[k] = true
+	}
+	f.mu.Lock()
+	var victims []*peerClient
+	for name, pc := range f.peers {
+		if !keepSet[name] {
+			victims = append(victims, pc)
+			delete(f.peers, name)
+		}
+	}
+	f.mu.Unlock()
+	for _, pc := range victims {
+		if tr, ok := pc.client.Transport.(*http.Transport); ok {
+			tr.CloseIdleConnections()
+		}
+	}
+	return len(victims)
+}
+
 // Forward POSTs body (JSON) to peer+path with the loop-guard header set and
 // returns the peer's status code and response body. Any HTTP response —
 // including an error status — counts as a successful forward: the owner
